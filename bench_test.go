@@ -1,0 +1,232 @@
+package bcnphase_test
+
+import (
+	"testing"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/experiments"
+	"bcnphase/internal/netsim"
+	"bcnphase/internal/ode"
+	"bcnphase/internal/workload"
+
+	"bcnphase/internal/bcn"
+)
+
+// --- One benchmark per paper artifact (DESIGN.md experiment index). ---
+// Each regenerates the corresponding figure/result end to end; use
+// `go test -bench=Fig -benchmem` to time the whole evaluation pipeline.
+
+func benchExperiment(b *testing.B, run experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Charts) == 0 {
+			b.Fatal("no charts")
+		}
+	}
+}
+
+// BenchmarkFig3Taxonomy regenerates the trajectory taxonomy of Fig. 3.
+func BenchmarkFig3Taxonomy(b *testing.B) { benchExperiment(b, experiments.Fig3) }
+
+// BenchmarkFig4Spiral regenerates the spiral trajectories of Fig. 4.
+func BenchmarkFig4Spiral(b *testing.B) { benchExperiment(b, experiments.Fig4) }
+
+// BenchmarkFig5Node regenerates the node trajectories of Fig. 5.
+func BenchmarkFig5Node(b *testing.B) { benchExperiment(b, experiments.Fig5) }
+
+// BenchmarkFig6Case1 regenerates the Case 1 portrait and time series.
+func BenchmarkFig6Case1(b *testing.B) { benchExperiment(b, experiments.Fig6) }
+
+// BenchmarkFig7LimitCycle regenerates the limit-cycle study of Fig. 7.
+func BenchmarkFig7LimitCycle(b *testing.B) { benchExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8Case2 regenerates the Case 2 figure.
+func BenchmarkFig8Case2(b *testing.B) { benchExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9Case3 regenerates the Case 3 figure.
+func BenchmarkFig9Case3(b *testing.B) { benchExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10Case4 regenerates the Case 4 figure.
+func BenchmarkFig10Case4(b *testing.B) { benchExperiment(b, experiments.Fig10) }
+
+// BenchmarkTheorem1Example regenerates the worked buffer-sizing example.
+func BenchmarkTheorem1Example(b *testing.B) { benchExperiment(b, experiments.Theorem1Example) }
+
+// BenchmarkFluidVsPacket regenerates the model-validation experiment.
+func BenchmarkFluidVsPacket(b *testing.B) { benchExperiment(b, experiments.FluidVsPacket) }
+
+// BenchmarkStabilityMap regenerates the (Gi, Gd) stability-region sweep.
+func BenchmarkStabilityMap(b *testing.B) { benchExperiment(b, experiments.StabilityMap) }
+
+// BenchmarkTransientSweep regenerates the w/pm transient ablation.
+func BenchmarkTransientSweep(b *testing.B) { benchExperiment(b, experiments.TransientSweep) }
+
+// --- Micro-benchmarks of the load-bearing primitives. ---
+
+// BenchmarkSolveStitched times one full stitched stability analysis from
+// the canonical start (the operation behind every sweep grid point).
+func BenchmarkSolveStitched(b *testing.B) {
+	p := core.FigureExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := core.Solve(p, core.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tr.Outcome.StronglyStable() {
+			b.Fatal("unexpected outcome")
+		}
+	}
+}
+
+// BenchmarkTheorem1Bound times the closed-form criterion.
+func BenchmarkTheorem1Bound(b *testing.B) {
+	p := core.PaperExample()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += core.Theorem1Bound(p)
+	}
+	_ = sum
+}
+
+// BenchmarkArcEval times closed-form arc evaluation.
+func BenchmarkArcEval(b *testing.B) {
+	p := core.FigureExample()
+	lin := p.RegionLinear(core.Increase)
+	arc, err := core.NewArc(lin.M, lin.N, p.K(), -p.Q0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		x, y := arc.At(float64(i%1000) * 1e-6)
+		sum += x + y
+	}
+	_ = sum
+}
+
+// BenchmarkDormandPrince times adaptive integration of the nonlinear
+// fluid model over one oscillation.
+func BenchmarkDormandPrince(b *testing.B) {
+	p := core.FigureExample()
+	rhs := p.FluidRHS()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := ode.DormandPrince(rhs, 0, []float64{-p.Q0, 0}, 2.3e-3, ode.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimSecond times simulating 10 ms of the 10-source dumbbell
+// (events/op indicates simulator throughput).
+func BenchmarkNetsimSecond(b *testing.B) {
+	cfg := netsim.Config{
+		N: 10, Capacity: 1e9, LineRate: 1e9, FrameBits: 12000,
+		BufferBits: 4e6, PropDelay: netsim.FromSeconds(1e-6),
+		InitialRate: 2e8, BCN: true,
+		Q0: 5e5, W: 2, Pm: 0.2, Ru: 8e6, Gi: 0.05, Gd: 1.0 / 128,
+	}
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		net, err := netsim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := net.Run(0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkIncast16 times the 16-server incast scenario.
+func BenchmarkIncast16(b *testing.B) {
+	cfg, err := workload.Incast(16, 1e9, 2e6, 1e-4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		net, err := netsim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Run(0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageRoundTrip times BCN message encode+decode.
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	m := &bcn.Message{
+		DA: bcn.MAC{2, 0, 0, 0, 0, 1}, SA: bcn.MAC{2, 0, 0, 0, 0, 2},
+		CPID: 7, Sigma: -1.5e5,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rx bcn.Message
+		if err := rx.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFirstRoundExtrema times the closed-form overshoot computation.
+func BenchmarkFirstRoundExtrema(b *testing.B) {
+	p := core.PaperExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.FirstRoundExtrema(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQCNComparison regenerates the BCN-vs-QCN extension study.
+func BenchmarkQCNComparison(b *testing.B) { benchExperiment(b, experiments.QCNComparison) }
+
+// BenchmarkCongestionSpreading regenerates the two-switch HOL-blocking
+// study.
+func BenchmarkCongestionSpreading(b *testing.B) { benchExperiment(b, experiments.CongestionSpreading) }
+
+// BenchmarkMultihopPause times the two-switch PAUSE scenario.
+func BenchmarkMultihopPause(b *testing.B) {
+	cfg := netsim.MultihopConfig{
+		HotSources: 4, HotRate: 4e8, VictimRate: 2e8, LineRate: 1e9,
+		LinkEX: 2e9, PortA: 1e9, PortB: 1e9, FrameBits: 12000,
+		BufEdge: 1e6, BufA: 2e6, PropDelay: netsim.FromSeconds(1e-6),
+		Pause: true, PauseDuration: netsim.FromSeconds(50e-6),
+	}
+	for i := 0; i < b.N; i++ {
+		net, err := netsim.NewMultihop(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Run(0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairness regenerates the fairness-vs-sampling study.
+func BenchmarkFairness(b *testing.B) { benchExperiment(b, experiments.Fairness) }
+
+// BenchmarkDelaySensitivity regenerates the delay-sensitivity study.
+func BenchmarkDelaySensitivity(b *testing.B) { benchExperiment(b, experiments.DelaySensitivity) }
+
+// BenchmarkPaperScale regenerates the packet-level Theorem 1 replay.
+func BenchmarkPaperScale(b *testing.B) { benchExperiment(b, experiments.PaperScale) }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPaperDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"case 1 (spiral/spiral)",
+		"overflow",
+		"NOTE: linear theory declares this system stable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAmpleBuffer(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-b", "14.5e6"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "converged") {
+		t.Errorf("expected convergence:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "NOTE:") {
+		t.Error("no disagreement expected with an ample buffer")
+	}
+}
+
+func TestRunWarmup(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-b", "14.5e6", "-warmup", "1e8"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "portrait.svg")
+	var b strings.Builder
+	if err := run([]string{"-svg", path}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("svg not written: %v", err)
+	}
+	if !strings.Contains(string(data), "</svg>") {
+		t.Error("incomplete SVG")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "0"}, &b); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if err := run([]string{"-unknown-flag"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-svg", "/nonexistent-dir/x.svg"}, &b); err == nil {
+		t.Error("unwritable SVG path accepted")
+	}
+}
+
+func TestRunSizingAndTransient(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-b", "14.5e6", "-size", "-transient"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"max flows", "max Gi", "min Gd", "max q0", "oscillation period", "settle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command bcnreport regenerates every figure and result of the paper's
+// evaluation into an output directory: SVG charts, CSV series and textual
+// summaries, one set per experiment in DESIGN.md's index.
+//
+// Example:
+//
+//	bcnreport -out out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bcnphase/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcnreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bcnreport", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
+	var (
+		out  = fs.String("out", "out", "output directory")
+		only = fs.String("only", "", "run a single experiment by ID (e.g. fig6)")
+		list = fs.Bool("list", false, "list experiment IDs and exit")
+		md   = fs.Bool("md", false, "also write RESULTS.md (markdown) into the output directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.What)
+		}
+		return nil
+	}
+	if *only != "" {
+		for _, e := range experiments.Registry() {
+			if e.ID != *only {
+				continue
+			}
+			rep, err := e.Run()
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteFiles(*out); err != nil {
+				return err
+			}
+			if *md {
+				path := filepath.Join(*out, "RESULTS.md")
+				if err := os.WriteFile(path, []byte(rep.Markdown()), 0o644); err != nil {
+					return err
+				}
+			}
+			fmt.Print(rep.Text())
+			return nil
+		}
+		return fmt.Errorf("unknown experiment %q (use -list)", *only)
+	}
+	summary, err := experiments.RunAll(*out)
+	if err != nil {
+		return err
+	}
+	if *md {
+		var b strings.Builder
+		b.WriteString("# Regenerated results\n\n")
+		for _, e := range experiments.Registry() {
+			rep, err := e.Run()
+			if err != nil {
+				return err
+			}
+			b.WriteString(rep.Markdown())
+		}
+		path := filepath.Join(*out, "RESULTS.md")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Print(summary)
+	fmt.Printf("artifacts written to %s\n", *out)
+	return nil
+}

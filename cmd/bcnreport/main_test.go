@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "fig4", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4_portrait.svg")); err != nil {
+		t.Errorf("fig4 artifact missing: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunMarkdownSingle(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "fig4", "-out", dir, "-md"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "RESULTS.md"))
+	if err != nil {
+		t.Fatalf("RESULTS.md missing: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty markdown")
+	}
+}

@@ -1,0 +1,128 @@
+// Command bcnsim runs the packet-level DCE dumbbell simulator: N sources
+// through one BCN-controlled bottleneck, with optional 802.3x PAUSE.
+//
+// Example:
+//
+//	bcnsim -n 10 -c 1e9 -b 4e6 -q0 5e5 -dur 0.2 -csv queue.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"bcnphase/internal/netsim"
+	"bcnphase/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcnsim", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
+	var (
+		n        = fs.Int("n", 10, "number of sources")
+		c        = fs.Float64("c", 1e9, "bottleneck capacity (bits/s)")
+		line     = fs.Float64("line", 1e9, "per-source line rate (bits/s)")
+		frame    = fs.Float64("frame", 12000, "frame size (bits)")
+		b        = fs.Float64("b", 4e6, "buffer size (bits)")
+		q0       = fs.Float64("q0", 5e5, "queue reference (bits)")
+		w        = fs.Float64("w", 2, "sigma weight")
+		pm       = fs.Float64("pm", 0.2, "sampling probability")
+		ru       = fs.Float64("ru", 8e6, "rate unit (bits/s)")
+		gi       = fs.Float64("gi", 0.05, "increase gain")
+		gd       = fs.Float64("gd", 1.0/128, "decrease gain")
+		initRate = fs.Float64("rate", 2e8, "initial per-source rate (bits/s)")
+		prop     = fs.Float64("prop", 1e-6, "one-way propagation delay (s)")
+		dur      = fs.Float64("dur", 0.1, "simulated duration (s)")
+		noBCN    = fs.Bool("nobcn", false, "disable BCN (uncontrolled or PAUSE-only baseline)")
+		pause    = fs.Bool("pause", false, "enable 802.3x PAUSE")
+		qsc      = fs.Float64("qsc", 0, "PAUSE high watermark (bits); default 0.75*B when -pause")
+		seed     = fs.Int64("seed", 1, "start-jitter seed (0 = synchronized sources)")
+		csv      = fs.String("csv", "", "write the queue series to this CSV file")
+		ascii    = fs.Bool("ascii", false, "print an ASCII chart of the queue series")
+		trace    = fs.String("trace", "", "write a per-event trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := netsim.Config{
+		N: *n, Capacity: *c, LineRate: *line, FrameBits: *frame,
+		BufferBits: *b, PropDelay: netsim.FromSeconds(*prop),
+		InitialRate: *initRate,
+		BCN:         !*noBCN,
+		Q0:          *q0, W: *w, Pm: *pm, Ru: *ru, Gi: *gi, Gd: *gd,
+		Seed: *seed,
+	}
+	if *pause {
+		cfg.Pause = true
+		cfg.Qsc = *qsc
+		if cfg.Qsc == 0 {
+			cfg.Qsc = 0.75 * *b
+		}
+		cfg.PauseDuration = netsim.FromSeconds(50e-6)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+	net, err := netsim.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := net.Run(*dur)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "events:      %d\n", res.Events)
+	fmt.Fprintf(out, "throughput:  %.6g bits/s (utilization %.4f)\n", res.Throughput, res.Utilization)
+	fmt.Fprintf(out, "queue:       max=%.6g bits, trough after fill=%.6g bits\n", res.MaxQueueBits, res.MinQueueAfterFill)
+	fmt.Fprintf(out, "drops:       %d frames (%.6g bits)\n", res.DroppedFrames, res.DroppedBits)
+	fmt.Fprintf(out, "pauses:      %d\n", res.PausesSent)
+	fmt.Fprintf(out, "latency:     mean=%.4gus p99=%.4gus (bottleneck sojourn)\n",
+		res.MeanSojourn*1e6, res.P99Sojourn*1e6)
+	fmt.Fprintf(out, "fairness:    Jain=%.4f\n", res.JainIndex)
+	if cfg.BCN {
+		fmt.Fprintf(out, "bcn:         %d samples, %d positive, %d negative messages\n",
+			res.CPSamples, res.PosMessages, res.NegMessages)
+	}
+	if *ascii {
+		art, err := plot.ASCII("queue occupancy (bits)", 72, 18, plot.Series{
+			Name: "queue", X: res.Queue.T, Y: res.Queue.V,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, art)
+	}
+	if *csv != "" {
+		var sb strings.Builder
+		sb.WriteString("t,queue_bits,agg_rate_bps\n")
+		for i := range res.Queue.T {
+			sb.WriteString(strconv.FormatFloat(res.Queue.T[i], 'g', 10, 64))
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(res.Queue.V[i], 'g', 10, 64))
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(res.AggRate.V[i], 'g', 10, 64))
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*csv, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "queue series written to %s\n", *csv)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-dur", "0.02"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"throughput:", "queue:", "drops:", "bcn:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNoBCNWithPause(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-dur", "0.02", "-nobcn", "-pause"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if strings.Contains(out, "bcn:") {
+		t.Error("bcn stats printed with -nobcn")
+	}
+	if !strings.Contains(out, "pauses:") {
+		t.Error("missing pauses line")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.csv")
+	var b strings.Builder
+	if err := run([]string{"-dur", "0.01", "-csv", path}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "t,queue_bits,agg_rate_bps" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) < 100 {
+		t.Errorf("csv has only %d lines", len(lines))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "0"}, &b); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := run([]string{"-dur", "0"}, &b); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunASCII(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-dur", "0.01", "-ascii"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "queue occupancy") {
+		t.Error("ASCII chart missing")
+	}
+	if !strings.Contains(b.String(), "latency:") {
+		t.Error("latency line missing")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.tr")
+	var b strings.Builder
+	if err := run([]string{"-dur", "0.005", "-trace", path}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(data), "+ src=") {
+		t.Error("trace missing send events")
+	}
+}

@@ -1,0 +1,80 @@
+// Command bcnsweep sweeps the gain plane (Gi, Gd) and prints a CSV of the
+// three stability verdicts per grid point: the linear criterion of [4],
+// the Theorem 1 sufficient condition, and the stitched-trajectory ground
+// truth.
+//
+// Example:
+//
+//	bcnsweep -b-over-q0 5 -gi-lo 0.05 -gi-hi 12.8 -steps 12 > map.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/linear"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcnsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcnsweep", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
+	var (
+		bOverQ0 = fs.Float64("b-over-q0", 5, "buffer size as a multiple of q0")
+		giLo    = fs.Float64("gi-lo", 0.05, "Gi sweep lower bound")
+		giHi    = fs.Float64("gi-hi", 12.8, "Gi sweep upper bound")
+		gdLo    = fs.Float64("gd-lo", 1.0/1024, "Gd sweep lower bound")
+		gdHi    = fs.Float64("gd-hi", 0.5, "Gd sweep upper bound")
+		steps   = fs.Int("steps", 10, "grid points per axis")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *steps < 2 {
+		return fmt.Errorf("steps must be >= 2, got %d", *steps)
+	}
+	base := core.FigureExample()
+	base.B = *bOverQ0 * base.Q0
+	if base.B <= base.Q0 {
+		return fmt.Errorf("buffer multiple %v leaves B <= q0", *bOverQ0)
+	}
+
+	fmt.Fprintln(out, "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho")
+	for i := 0; i < *steps; i++ {
+		gi := geom(*giLo, *giHi, i, *steps)
+		for j := 0; j < *steps; j++ {
+			gd := geom(*gdLo, *gdHi, j, *steps)
+			p := base
+			p.Gi = gi
+			p.Gd = gd
+			v, err := linear.Compare(p)
+			if err != nil {
+				return fmt.Errorf("Gi=%v Gd=%v: %w", gi, gd, err)
+			}
+			tr, err := core.Solve(p, core.SolveOptions{})
+			if err != nil {
+				return fmt.Errorf("Gi=%v Gd=%v: %w", gi, gd, err)
+			}
+			fmt.Fprintf(out, "%g,%g,%d,%v,%v,%g,%s,%v,%g,%g\n",
+				gi, gd, int(p.Case()), v.LinearStable, v.Theorem1OK,
+				core.Theorem1Bound(p), tr.Outcome, tr.Outcome.StronglyStable(),
+				tr.MaxQueue(), tr.Rho)
+		}
+	}
+	return nil
+}
+
+func geom(lo, hi float64, i, n int) float64 {
+	f := float64(i) / float64(n-1)
+	return lo * math.Pow(hi/lo, f)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSweepCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-steps", "3"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 1+3*3 {
+		t.Errorf("got %d data lines, want 9", len(lines)-1)
+	}
+	// Every row has the right number of fields and linear always true.
+	for _, l := range lines[1:] {
+		fields := strings.Split(l, ",")
+		if len(fields) != 10 {
+			t.Fatalf("row %q has %d fields", l, len(fields))
+		}
+		if fields[3] != "true" {
+			t.Errorf("linear_stable = %q, want true (Proposition 1)", fields[3])
+		}
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-steps", "1"}, &b); err == nil {
+		t.Error("steps=1 accepted")
+	}
+	if err := run([]string{"-b-over-q0", "0.5"}, &b); err == nil {
+		t.Error("B <= q0 accepted")
+	}
+	if err := run([]string{"-nope"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestGeom(t *testing.T) {
+	if got := geom(1, 100, 0, 3); got != 1 {
+		t.Errorf("geom start = %v", got)
+	}
+	if got := geom(1, 100, 2, 3); got != 100 {
+		t.Errorf("geom end = %v", got)
+	}
+}

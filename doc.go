@@ -1,0 +1,15 @@
+// Package bcnphase reproduces "Phase Plane Analysis of Congestion Control
+// in Data Center Ethernet Networks" (Ren & Jiang, ICDCS 2010): a fluid
+// model and nonlinear phase-plane analysis of the BCN (Backward
+// Congestion Notification) congestion-control mechanism underlying the
+// IEEE 802.1Qau Data Center Ethernet proposals.
+//
+// The repository is organized as a set of internal packages (the fluid
+// model and closed-form analysis in internal/core, hand-rolled ODE
+// integrators in internal/ode, generic phase-plane tools in
+// internal/phaseplane, the BCN protocol in internal/bcn, a packet-level
+// discrete-event simulator in internal/netsim, and the figure-reproduction
+// harness in internal/experiments), command-line tools under cmd/, and
+// runnable examples under examples/. See README.md, DESIGN.md and
+// EXPERIMENTS.md at the repository root.
+package bcnphase

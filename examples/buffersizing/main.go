@@ -1,0 +1,62 @@
+// Buffer sizing: how much switch buffer does lossless BCN Ethernet need?
+//
+// The classical rule of thumb sizes buffers at one bandwidth-delay
+// product. The paper's Theorem 1 shows lossless operation under BCN needs
+// (1 + sqrt(Ru·Gi·N/(Gd·C)))·q0 instead — growing with sqrt(N). This
+// example sweeps the flow count, prints both sizings, and verifies each
+// verdict against the stitched phase-plane trajectory.
+//
+//	go run ./examples/buffersizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcnphase/internal/core"
+)
+
+func main() {
+	const (
+		capacity = 10e9   // 10 Gbps bottleneck
+		rtt      = 500e-6 // effective round trip incl. queueing
+	)
+	bdp := core.BandwidthDelayProduct(capacity, rtt)
+	fmt.Printf("bandwidth-delay product at %.0f Gbps, %.0f us RTT: %.1f Mbit\n\n",
+		capacity/1e9, rtt*1e6, bdp/1e6)
+	fmt.Printf("%6s  %14s  %10s  %22s  %22s\n",
+		"flows", "required (Mb)", "vs BDP", "BDP buffer verdict", "Theorem-1 buffer verdict")
+
+	for _, n := range []int{5, 10, 25, 50, 100, 200} {
+		p := core.PaperExample()
+		p.N = n
+		p.C = capacity
+
+		need := core.RequiredBuffer(p)
+
+		// Verdict with the BDP-sized buffer.
+		pBDP := p
+		pBDP.B = bdp
+		bdpOutcome := "invalid (B <= q0)"
+		if pBDP.Validate() == nil {
+			tr, err := core.Solve(pBDP, core.SolveOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bdpOutcome = tr.Outcome.String()
+		}
+
+		// Verdict with the Theorem-1-sized buffer (5% headroom).
+		pT1 := p
+		pT1.B = need * 1.05
+		tr, err := core.Solve(pT1, core.SolveOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%6d  %14.2f  %9.2fx  %22s  %22s\n",
+			n, need/1e6, need/bdp, bdpOutcome, tr.Outcome.String())
+	}
+
+	fmt.Println("\nthe required buffer grows with sqrt(N): the BDP rule collapses for lossless Ethernet")
+}

@@ -1,0 +1,76 @@
+// Incast: parallel cluster-filesystem reads through one bottleneck.
+//
+// Sixteen servers answer a client simultaneously at line rate — the
+// workload the paper's introduction motivates (Lustre/Panasas parallel
+// I/O). The example runs the packet-level simulator three ways and
+// compares loss, utilization and queue excursion:
+//
+//  1. uncontrolled (classical lossy Ethernet),
+//  2. 802.3x PAUSE only (lossless but blunt),
+//  3. BCN congestion management.
+//
+// Run with: go run ./examples/incast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcnphase/internal/netsim"
+	"bcnphase/internal/workload"
+)
+
+func main() {
+	const (
+		servers  = 16
+		capacity = 1e9  // 1 Gbps bottleneck at the client's ToR port
+		buffer   = 2e6  // 2 Mbit of switch buffer
+		window   = 1e-4 // replies start within 100 us of each other
+		duration = 0.1
+	)
+
+	base, err := workload.Incast(servers, capacity, buffer, window)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type variant struct {
+		name string
+		mut  func(*netsim.Config)
+	}
+	variants := []variant{
+		{"uncontrolled", func(c *netsim.Config) { c.BCN = false }},
+		{"PAUSE only", func(c *netsim.Config) {
+			c.BCN = false
+			c.Pause = true
+			c.PauseDuration = netsim.FromSeconds(50e-6)
+		}},
+		{"BCN", func(c *netsim.Config) {}},
+		{"BCN + PAUSE", func(c *netsim.Config) {
+			c.Pause = true
+			c.PauseDuration = netsim.FromSeconds(50e-6)
+		}},
+	}
+
+	fmt.Printf("incast: %d servers at line rate into a %.0f Gbps port, %.1f Mbit buffer\n\n",
+		servers, capacity/1e9, buffer/1e6)
+	fmt.Printf("%-14s  %10s  %12s  %12s  %10s  %8s\n",
+		"scheme", "drops", "lost (Mbit)", "max q (Mb)", "util", "pauses")
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		net, err := netsim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Run(duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s  %10d  %12.3f  %12.3f  %9.4f  %8d\n",
+			v.name, res.DroppedFrames, res.DroppedBits/1e6,
+			res.MaxQueueBits/1e6, res.Utilization, res.PausesSent)
+	}
+	fmt.Println("\nBCN holds the queue near the reference instead of the buffer limit,")
+	fmt.Println("avoiding both the drops of lossy Ethernet and the blunt stop-start of PAUSE")
+}

@@ -1,0 +1,54 @@
+// Proposals: the four 802.1Qau congestion-management candidates head to
+// head — BCN/ECM (the paper's subject), QCN (the eventual standard),
+// FERA (explicit rate advertising) and E2CM (the BCN+FERA hybrid) — on
+// the same overloaded bottleneck.
+//
+// Run with: go run ./examples/proposals
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcnphase/internal/netsim"
+)
+
+func main() {
+	base := netsim.Config{
+		N: 10, Capacity: 1e9, LineRate: 1e9, FrameBits: 12000,
+		BufferBits: 4e6, PropDelay: netsim.FromSeconds(1e-6),
+		InitialRate: 2e8, // 2x overload
+		BCN:         true,
+		Q0:          5e5, W: 2, Pm: 0.2,
+		Ru: 8e6, Gi: 0.05, Gd: 1.0 / 128,
+		MinRate: 1e9 / 80,
+	}
+
+	fmt.Println("ten sources at 2x overload into a 1 Gbps port, 4 Mbit buffer, q0 = 500 kbit")
+	fmt.Println()
+	fmt.Printf("%-6s  %7s  %11s  %8s  %7s  %11s  %12s  %11s\n",
+		"scheme", "drops", "max q (Mb)", "util", "Jain", "p99 lat", "neg msgs", "pos msgs")
+	for _, scheme := range []netsim.Scheme{
+		netsim.SchemeBCN, netsim.SchemeQCN, netsim.SchemeFERA, netsim.SchemeE2CM,
+	} {
+		cfg := base
+		cfg.Scheme = scheme
+		net, err := netsim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Run(0.4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %7d  %11.3f  %8.4f  %7.3f  %9.1fus  %12d  %11d\n",
+			scheme, res.DroppedFrames, res.MaxQueueBits/1e6, res.Utilization,
+			res.JainIndex, res.P99Sojourn*1e6, res.NegMessages, res.PosMessages)
+	}
+
+	fmt.Println()
+	fmt.Println("BCN: source-integrated queue feedback (the paper's analysis subject)")
+	fmt.Println("QCN: quantized negative-only feedback + byte-counter self-increase (the standard)")
+	fmt.Println("FERA: the switch computes and advertises explicit fair rates")
+	fmt.Println("E2CM: BCN's fast decrease + FERA's explicit fairness")
+}

@@ -1,0 +1,63 @@
+// Quickstart: analyze the paper's worked example with the public API.
+//
+// It classifies the BCN system into the paper's phase-plane cases, checks
+// every stability criterion, and prints the buffer the switch actually
+// needs for lossless operation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/linear"
+)
+
+func main() {
+	// The paper's §IV example: 50 flows on a 10 Gbps link, reference
+	// queue 2.5 Mbit, standard-draft gains, and a buffer sized by the
+	// classical bandwidth-delay-product rule (5 Mbit).
+	p := core.PaperExample()
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("BCN system: N=%d flows, C=%.0f Gbps, q0=%.1f Mbit, B=%.1f Mbit\n",
+		p.N, p.C/1e9, p.Q0/1e6, p.B/1e6)
+	fmt.Printf("phase-plane case: %v\n\n", p.Case())
+
+	// 1. The classical linear analysis (Lu et al. [4]) sees no problem.
+	v, err := linear.Compare(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linear criterion [4]:   stable = %v\n", v.LinearStable)
+
+	// 2. Theorem 1 disagrees: strong stability (no drops, no idle link)
+	// needs a much bigger buffer.
+	fmt.Printf("Theorem 1 bound:        %.2f Mbit needed, have %.2f Mbit -> ok=%v\n",
+		core.Theorem1Bound(p)/1e6, p.B/1e6, core.Theorem1Satisfied(p))
+
+	// 3. The stitched phase-plane trajectory shows what actually
+	// happens: the first-round overshoot slams into the buffer.
+	tr, err := core.Solve(p, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trajectory verdict:     %v (strongly stable = %v)\n",
+		tr.Outcome, tr.Outcome.StronglyStable())
+	fmt.Printf("peak queue reached:     %.2f Mbit (buffer %.2f Mbit)\n\n",
+		tr.MaxQueue()/1e6, p.B/1e6)
+
+	// 4. Resize the buffer per Theorem 1 and watch the verdict flip.
+	p.B = core.RequiredBuffer(p) * 1.05
+	tr2, err := core.Solve(p, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with B = %.2f Mbit:     %v (strongly stable = %v), peak %.2f Mbit\n",
+		p.B/1e6, tr2.Outcome, tr2.Outcome.StronglyStable(), tr2.MaxQueue()/1e6)
+	fmt.Printf("contraction per round:  rho = %.6f\n", tr2.Rho)
+}

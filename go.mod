@@ -1,0 +1,3 @@
+module bcnphase
+
+go 1.22

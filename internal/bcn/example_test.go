@@ -1,0 +1,68 @@
+package bcn_test
+
+import (
+	"fmt"
+
+	"bcnphase/internal/bcn"
+)
+
+// Example_feedbackLoop walks one round of the BCN control loop: the
+// congestion point samples an arriving frame, computes σ, and the
+// reaction point applies the feedback.
+func Example_feedbackLoop() {
+	cp, err := bcn.NewCongestionPoint(bcn.CPConfig{
+		CPID: 1, SA: bcn.MAC{0x02, 0, 0, 0, 0, 0xFE},
+		Q0: 1e5, W: 2, Pm: 1, // sample every frame
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rp, err := bcn.NewReactionPoint(bcn.RPConfig{
+		Ru: 8e6, Gi: 4, Gd: 1.0 / 128,
+		MinRate: 1e6, MaxRate: 1e9,
+		Mode: bcn.ModeFluid,
+	}, 5e8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// A 300 kbit burst lands on a queue with a 100 kbit reference:
+	// the sampled frame triggers a negative BCN message.
+	src := bcn.MAC{0x02, 0, 0, 0, 0, 1}
+	msg := cp.OnArrival(bcn.Arrival{SizeBits: 3e5, Src: src})
+	fmt.Printf("negative message: %v (sigma %.0f bits)\n", msg.Sigma < 0, msg.Sigma)
+
+	// The source applies it and is now associated (tags its frames).
+	rp.OnMessage(msg, 0)
+	fmt.Printf("associated with CPID %d\n", rp.Associated())
+	// Output:
+	// negative message: true (sigma -800000 bits)
+	// associated with CPID 1
+}
+
+// ExampleMessage_MarshalBinary shows the 28-byte wire format of Fig. 2.
+func ExampleMessage_MarshalBinary() {
+	m := &bcn.Message{
+		DA:    bcn.MAC{0x02, 0, 0, 0, 0, 0x01},
+		SA:    bcn.MAC{0x02, 0, 0, 0, 0, 0xFE},
+		CPID:  7,
+		Sigma: -512 * 100, // -100 quantization units
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d bytes, ethertype %02x%02x\n", len(data), data[12], data[13])
+	var rx bcn.Message
+	if err := rx.UnmarshalBinary(data); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("sigma round-trips: %.0f\n", rx.Sigma)
+	// Output:
+	// 28 bytes, ethertype 88ff
+	// sigma round-trips: -51200
+}

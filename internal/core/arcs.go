@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ArcKind identifies the closed-form family of one linear regime's
+// trajectory (paper §IV-B).
+type ArcKind int
+
+// The three solution families of λ² + mλ + n = 0 with m, n > 0.
+const (
+	// ArcSpiral: complex eigenvalues (m² < 4n); logarithmic spiral,
+	// the H-form of paper Case 1 (eq. 12).
+	ArcSpiral ArcKind = iota + 1
+	// ArcNode: distinct negative real eigenvalues (m² > 4n); the F-form
+	// (eq. 21).
+	ArcNode
+	// ArcCritical: repeated eigenvalue (m² = 4n); the L-form (eq. 29).
+	ArcCritical
+)
+
+// String names the arc kind.
+func (k ArcKind) String() string {
+	switch k {
+	case ArcSpiral:
+		return "spiral"
+	case ArcNode:
+		return "node"
+	case ArcCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("ArcKind(%d)", int(k))
+	}
+}
+
+// Arc is the closed-form solution of one linear regime
+//
+//	x' = y,  y' = −n·x − m·y
+//
+// from a fixed initial state. Time t is measured from the arc's start.
+type Arc interface {
+	// At evaluates the state at arc time t ≥ 0.
+	At(t float64) (x, y float64)
+	// FirstYZero returns the first time strictly greater than after at
+	// which y(t) = 0 (an extremum of x), and whether one exists.
+	FirstYZero(after float64) (float64, bool)
+	// FirstSwitch returns the first time strictly greater than after at
+	// which x + k·y = 0 (a switching-line crossing), and whether one
+	// exists. k is fixed at construction.
+	FirstSwitch(after float64) (float64, bool)
+	// Kind reports the solution family.
+	Kind() ArcKind
+	// TimeScale returns a characteristic time of the regime (used to
+	// scale numeric epsilons): the half-turn period for spirals,
+	// 1/|λ_slow| for nodes.
+	TimeScale() float64
+}
+
+// NewArc builds the closed-form solution of the linear regime λ²+mλ+n=0
+// from the initial state (x0, y0), with switching line x + k·y = 0.
+func NewArc(m, n, k, x0, y0 float64) (Arc, error) {
+	if !(m > 0) || !(n > 0) {
+		return nil, fmt.Errorf("%w: regime coefficients m=%v, n=%v must be positive", ErrInvalidParams, m, n)
+	}
+	if !(k > 0) {
+		return nil, fmt.Errorf("%w: switching slope k=%v must be positive", ErrInvalidParams, k)
+	}
+	disc := m*m - 4*n
+	switch {
+	case disc < 0:
+		alpha := -m / 2
+		beta := math.Sqrt(-disc) / 2
+		return newSpiralArc(alpha, beta, k, x0, y0), nil
+	case disc > 0:
+		s := math.Sqrt(disc)
+		l1 := (-m - s) / 2
+		l2 := (-m + s) / 2
+		return newNodeArc(l1, l2, k, x0, y0), nil
+	default:
+		return newCriticalArc(-m/2, k, x0, y0), nil
+	}
+}
+
+// cosForm is the damped sinusoid A·e^{αt}·cos(βt + φ).
+type cosForm struct {
+	A, alpha, beta, phi float64
+}
+
+func (c cosForm) at(t float64) float64 {
+	return c.A * math.Exp(c.alpha*t) * math.Cos(c.beta*t+c.phi)
+}
+
+// firstZeroAfter returns the first zero strictly after time t0. Zeros sit
+// at βt + φ = π/2 + nπ. A zero always exists when A ≠ 0 and β > 0.
+func (c cosForm) firstZeroAfter(t0 float64) (float64, bool) {
+	if c.A == 0 || c.beta <= 0 {
+		return 0, false
+	}
+	// Smallest integer n with t_n = (π/2 + nπ − φ)/β > t0.
+	nf := (c.beta*t0 + c.phi - math.Pi/2) / math.Pi
+	n := math.Floor(nf) + 1
+	t := (math.Pi/2 + n*math.Pi - c.phi) / c.beta
+	// Guard against roundoff returning t ≈ t0.
+	for t <= t0 {
+		n++
+		t = (math.Pi/2 + n*math.Pi - c.phi) / c.beta
+	}
+	return t, true
+}
+
+// spiralArc is the H-form solution (paper eq. 12): a logarithmic spiral
+// with x(t) = A e^{αt} cos(βt+φ).
+type spiralArc struct {
+	alpha, beta float64
+	x, y, s     cosForm // s is x + k·y
+}
+
+var _ Arc = (*spiralArc)(nil)
+
+func newSpiralArc(alpha, beta, k, x0, y0 float64) *spiralArc {
+	// x = A e^{αt} cos(βt+φ) with A cosφ = x0, A sinφ = (αx0 − y0)/β.
+	sinTerm := (alpha*x0 - y0) / beta
+	amp := math.Hypot(x0, sinTerm)
+	phi := math.Atan2(sinTerm, x0)
+	// y = x' = A e^{αt} [α cos θ − β sin θ] = A·ρy·e^{αt}·cos(θ + ψy)
+	// with ρy = √(α²+β²), ψy = atan2(β, α).
+	rhoY := math.Hypot(alpha, beta)
+	psiY := math.Atan2(beta, alpha)
+	// s = x + k y = A e^{αt}[(1+kα)cos θ − kβ sin θ] = A·ρs·cos(θ+ψs).
+	rhoS := math.Hypot(1+k*alpha, k*beta)
+	psiS := math.Atan2(k*beta, 1+k*alpha)
+	return &spiralArc{
+		alpha: alpha, beta: beta,
+		x: cosForm{A: amp, alpha: alpha, beta: beta, phi: phi},
+		y: cosForm{A: amp * rhoY, alpha: alpha, beta: beta, phi: phi + psiY},
+		s: cosForm{A: amp * rhoS, alpha: alpha, beta: beta, phi: phi + psiS},
+	}
+}
+
+func (a *spiralArc) At(t float64) (float64, float64) { return a.x.at(t), a.y.at(t) }
+
+func (a *spiralArc) FirstYZero(after float64) (float64, bool) {
+	return a.y.firstZeroAfter(after)
+}
+
+func (a *spiralArc) FirstSwitch(after float64) (float64, bool) {
+	return a.s.firstZeroAfter(after)
+}
+
+func (a *spiralArc) Kind() ArcKind { return ArcSpiral }
+
+func (a *spiralArc) TimeScale() float64 { return math.Pi / a.beta }
+
+// Eigen returns α and β of the complex pair α ± iβ.
+func (a *spiralArc) Eigen() (alpha, beta float64) { return a.alpha, a.beta }
+
+// twoExp is c1·e^{λ1 t} + c2·e^{λ2 t} with λ1 < λ2.
+type twoExp struct {
+	c1, l1, c2, l2 float64
+}
+
+func (f twoExp) at(t float64) float64 {
+	return f.c1*math.Exp(f.l1*t) + f.c2*math.Exp(f.l2*t)
+}
+
+// firstZeroAfter solves c1 e^{λ1 t} = −c2 e^{λ2 t}: at most one root.
+func (f twoExp) firstZeroAfter(t0 float64) (float64, bool) {
+	if f.c1 == 0 || f.c2 == 0 {
+		return 0, false // identically signed (or zero) — no isolated root
+	}
+	r := -f.c2 / f.c1
+	if r <= 0 {
+		return 0, false
+	}
+	// e^{(l1−l2) t} = r.
+	t := math.Log(r) / (f.l1 - f.l2)
+	if t <= t0 {
+		return 0, false
+	}
+	return t, true
+}
+
+// nodeArc is the F-form solution (paper eq. 21) with λ1 < λ2 < 0.
+type nodeArc struct {
+	l1, l2  float64
+	x, y, s twoExp
+}
+
+var _ Arc = (*nodeArc)(nil)
+
+func newNodeArc(l1, l2, k, x0, y0 float64) *nodeArc {
+	a1 := (l2*x0 - y0) / (l2 - l1)
+	a2 := (l1*x0 - y0) / (l1 - l2)
+	return &nodeArc{
+		l1: l1, l2: l2,
+		x: twoExp{c1: a1, l1: l1, c2: a2, l2: l2},
+		y: twoExp{c1: a1 * l1, l1: l1, c2: a2 * l2, l2: l2},
+		s: twoExp{c1: a1 * (1 + k*l1), l1: l1, c2: a2 * (1 + k*l2), l2: l2},
+	}
+}
+
+func (a *nodeArc) At(t float64) (float64, float64) { return a.x.at(t), a.y.at(t) }
+
+func (a *nodeArc) FirstYZero(after float64) (float64, bool) {
+	return a.y.firstZeroAfter(after)
+}
+
+func (a *nodeArc) FirstSwitch(after float64) (float64, bool) {
+	return a.s.firstZeroAfter(after)
+}
+
+func (a *nodeArc) Kind() ArcKind { return ArcNode }
+
+func (a *nodeArc) TimeScale() float64 { return 1 / math.Abs(a.l2) }
+
+// Eigen returns the two real eigenvalues λ1 < λ2 < 0.
+func (a *nodeArc) Eigen() (l1, l2 float64) { return a.l1, a.l2 }
+
+// linExp is (p + q·t)·e^{λt}.
+type linExp struct {
+	p, q, l float64
+}
+
+func (f linExp) at(t float64) float64 {
+	return (f.p + f.q*t) * math.Exp(f.l*t)
+}
+
+func (f linExp) firstZeroAfter(t0 float64) (float64, bool) {
+	if f.q == 0 {
+		return 0, false
+	}
+	t := -f.p / f.q
+	if t <= t0 {
+		return 0, false
+	}
+	return t, true
+}
+
+// criticalArc is the L-form solution (paper eq. 29) with repeated
+// eigenvalue λ = −m/2.
+type criticalArc struct {
+	l       float64
+	x, y, s linExp
+}
+
+var _ Arc = (*criticalArc)(nil)
+
+func newCriticalArc(l, k, x0, y0 float64) *criticalArc {
+	a3 := x0
+	a4 := y0 - l*x0
+	return &criticalArc{
+		l: l,
+		x: linExp{p: a3, q: a4, l: l},
+		y: linExp{p: a3*l + a4, q: a4 * l, l: l},
+		// s = x + ky = e^{λt}[a3(1+kλ) + k·a4 + a4(1+kλ)t].
+		s: linExp{p: a3*(1+k*l) + k*a4, q: a4 * (1 + k*l), l: l},
+	}
+}
+
+func (a *criticalArc) At(t float64) (float64, float64) { return a.x.at(t), a.y.at(t) }
+
+func (a *criticalArc) FirstYZero(after float64) (float64, bool) {
+	return a.y.firstZeroAfter(after)
+}
+
+func (a *criticalArc) FirstSwitch(after float64) (float64, bool) {
+	return a.s.firstZeroAfter(after)
+}
+
+func (a *criticalArc) Kind() ArcKind { return ArcCritical }
+
+func (a *criticalArc) TimeScale() float64 { return 1 / math.Abs(a.l) }
+
+// Eigen returns the repeated eigenvalue.
+func (a *criticalArc) Eigen() float64 { return a.l }

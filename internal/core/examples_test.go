@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+func TestFigureExample(t *testing.T) {
+	p := FigureExample()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("FigureExample invalid: %v", err)
+	}
+	if p.Case() != Case1 {
+		t.Errorf("Case = %v, want Case1", p.Case())
+	}
+	if !Theorem1Satisfied(p) {
+		t.Error("FigureExample should satisfy Theorem 1 by construction")
+	}
+	tr, err := Solve(p, SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !tr.Outcome.StronglyStable() {
+		t.Errorf("Outcome = %v, want strongly stable", tr.Outcome)
+	}
+}
+
+func TestCaseExampleClassification(t *testing.T) {
+	for _, kind := range []CaseKind{Case1, Case2, Case3, Case4, Case5} {
+		p := CaseExample(kind)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("CaseExample(%v) invalid: %v", kind, err)
+		}
+		if got := p.Case(); got != kind {
+			t.Errorf("CaseExample(%v).Case() = %v", kind, got)
+		}
+	}
+}

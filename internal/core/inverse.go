@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The inverse forms of Theorem 1, used for provisioning: instead of
+// checking a given configuration, solve for the largest workload or the
+// most aggressive gains a given buffer can sustain.
+
+// MaxFlowsForBuffer returns the largest flow count N for which Theorem 1
+// guarantees strong stability with the given parameters' buffer:
+//
+//	N ≤ Gd·C/(Ru·Gi) · (B/q0 − 1)²
+//
+// It returns 0 when even a single flow violates the criterion.
+func MaxFlowsForBuffer(p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	r := p.B/p.Q0 - 1
+	nMax := p.Gd * p.C / (p.Ru * p.Gi) * r * r
+	if nMax < 1 {
+		return 0, nil
+	}
+	n := int(math.Floor(nMax))
+	// Guard against floating-point edge: the returned N must satisfy
+	// the criterion, N+1 must not.
+	for n > 0 {
+		q := p
+		q.N = n
+		if Theorem1Satisfied(q) {
+			break
+		}
+		n--
+	}
+	return n, nil
+}
+
+// MaxGiForBuffer returns the largest additive-increase gain Gi for which
+// Theorem 1 holds at the given parameters.
+func MaxGiForBuffer(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	r := p.B/p.Q0 - 1
+	gi := p.Gd * p.C / (p.Ru * float64(p.N)) * r * r
+	// Back off one ulp-ish step so the strict inequality holds.
+	gi *= 1 - 1e-12
+	if gi <= 0 {
+		return 0, fmt.Errorf("%w: no positive Gi satisfies Theorem 1 at B=%v", ErrInvalidParams, p.B)
+	}
+	return gi, nil
+}
+
+// MinGdForBuffer returns the smallest multiplicative-decrease gain Gd for
+// which Theorem 1 holds at the given parameters.
+func MinGdForBuffer(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	r := p.B/p.Q0 - 1
+	if r <= 0 {
+		return 0, fmt.Errorf("%w: B=%v leaves no headroom above q0", ErrInvalidParams, p.B)
+	}
+	gd := p.Ru * p.Gi * float64(p.N) / (p.C * r * r)
+	gd *= 1 + 1e-12
+	return gd, nil
+}
+
+// MaxQ0ForBuffer returns the largest queue reference q0 for which
+// Theorem 1 holds: q0 < B/(1 + sqrt(a/(Gd·C))).
+func MaxQ0ForBuffer(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	denom := 1 + math.Sqrt(p.A()/(p.Bcoef()*p.C))
+	return p.B / denom * (1 - 1e-12), nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFlowsForBuffer(t *testing.T) {
+	p := PaperExample()
+	p.B = 13.9e6 // just above the N=50 bound
+	n, err := MaxFlowsForBuffer(p)
+	if err != nil {
+		t.Fatalf("MaxFlowsForBuffer: %v", err)
+	}
+	if n < 50 {
+		t.Errorf("n = %d, want at least the paper's 50", n)
+	}
+	// The returned count satisfies the criterion; one more does not.
+	q := p
+	q.N = n
+	if !Theorem1Satisfied(q) {
+		t.Errorf("N=%d does not satisfy Theorem 1", n)
+	}
+	q.N = n + 1
+	if Theorem1Satisfied(q) {
+		t.Errorf("N=%d should violate Theorem 1", n+1)
+	}
+	// A buffer barely above q0 supports no flows at these gains.
+	p.B = p.Q0 * 1.0001
+	n, err = MaxFlowsForBuffer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("tiny buffer supports %d flows, want 0", n)
+	}
+	if _, err := MaxFlowsForBuffer(Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestMaxGiForBuffer(t *testing.T) {
+	p := PaperExample()
+	p.B = 13.9e6
+	gi, err := MaxGiForBuffer(p)
+	if err != nil {
+		t.Fatalf("MaxGiForBuffer: %v", err)
+	}
+	q := p
+	q.Gi = gi
+	if !Theorem1Satisfied(q) {
+		t.Errorf("Gi=%v does not satisfy Theorem 1", gi)
+	}
+	q.Gi = gi * 1.01
+	if Theorem1Satisfied(q) {
+		t.Errorf("Gi=%v should violate Theorem 1", q.Gi)
+	}
+}
+
+func TestMinGdForBuffer(t *testing.T) {
+	p := PaperExample()
+	p.B = 13.9e6
+	gd, err := MinGdForBuffer(p)
+	if err != nil {
+		t.Fatalf("MinGdForBuffer: %v", err)
+	}
+	q := p
+	q.Gd = gd
+	if !Theorem1Satisfied(q) {
+		t.Errorf("Gd=%v does not satisfy Theorem 1", gd)
+	}
+	q.Gd = gd * 0.99
+	if Theorem1Satisfied(q) {
+		t.Errorf("Gd=%v should violate Theorem 1", q.Gd)
+	}
+}
+
+func TestMaxQ0ForBuffer(t *testing.T) {
+	p := PaperExample()
+	q0, err := MaxQ0ForBuffer(p)
+	if err != nil {
+		t.Fatalf("MaxQ0ForBuffer: %v", err)
+	}
+	q := p
+	q.Q0 = q0
+	if !Theorem1Satisfied(q) {
+		t.Errorf("q0=%v does not satisfy Theorem 1", q0)
+	}
+	q.Q0 = q0 * 1.01
+	if Theorem1Satisfied(q) {
+		t.Errorf("q0=%v should violate Theorem 1", q.Q0)
+	}
+}
+
+// TestQuickInverseConsistency: each inverse solver returns a value whose
+// forward check passes, over random buffers.
+func TestQuickInverseConsistency(t *testing.T) {
+	prop := func(bRaw uint8) bool {
+		p := PaperExample()
+		p.B = p.Q0 * (1.5 + float64(bRaw)/16) // 1.5..17.4 × q0
+		gi, err := MaxGiForBuffer(p)
+		if err != nil {
+			return true
+		}
+		q := p
+		q.Gi = gi
+		if !Theorem1Satisfied(q) {
+			return false
+		}
+		gd, err := MinGdForBuffer(p)
+		if err != nil {
+			return false
+		}
+		q = p
+		q.Gd = gd
+		return Theorem1Satisfied(q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

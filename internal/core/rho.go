@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+)
+
+// AnalyticRho computes the per-round contraction ratio of the linearized
+// switched system in closed form: one decrease arc followed by one
+// increase arc, both started on the switching line, and the ratio of the
+// entry amplitudes. For a piecewise-linear system the ratio is
+// scale-invariant, so a single reference round determines the asymptotic
+// behaviour: ρ < 1 means the oscillation decays geometrically, ρ = 1 is
+// the paper's limit cycle, and ρ > 1 would diverge (impossible here, as
+// both regimes are dissipative).
+//
+// Only Case 1 (spiral/spiral) has a full return round; other cases glide
+// to the origin after the first crossing, and AnalyticRho reports an
+// error for them.
+func AnalyticRho(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	k := p.K()
+	// Reference crossing entering the decrease region: y > 0 on the
+	// switching line. The amplitude scale is arbitrary (linearity).
+	y0 := p.C
+	x0 := -k * y0
+
+	ld := p.RegionLinear(Decrease)
+	arcD, err := NewArc(ld.M, ld.N, k, x0, y0)
+	if err != nil {
+		return 0, err
+	}
+	tBack, ok := arcD.FirstSwitch(1e-9 * arcD.TimeScale())
+	if !ok {
+		return 0, fmt.Errorf("core: decrease arc glides to the origin (no return round; %v)", p.Case())
+	}
+	x1, y1 := arcD.At(tBack)
+
+	li := p.RegionLinear(Increase)
+	arcI, err := NewArc(li.M, li.N, k, x1, y1)
+	if err != nil {
+		return 0, err
+	}
+	tBack2, ok := arcI.FirstSwitch(1e-9 * arcI.TimeScale())
+	if !ok {
+		return 0, fmt.Errorf("core: increase arc glides to the origin (no return round; %v)", p.Case())
+	}
+	_, y2 := arcI.At(tBack2)
+	if y0 == 0 {
+		return 0, fmt.Errorf("core: degenerate reference amplitude")
+	}
+	rho := y2 / y0
+	if rho < 0 {
+		rho = -rho
+	}
+	return rho, nil
+}
+
+// RoundDurations returns the closed-form durations of one steady
+// oscillation round of the Case-1 system: the time spent in the increase
+// region (T_i) and in the decrease region (T_d) between consecutive
+// switching-line crossings. For spiral regimes these are fixed fractions
+// of the half-turn periods π/β and independent of amplitude, which is why
+// the paper's Fig. 6 shows constant T_i^k, T_d^k after the first round.
+func RoundDurations(p Params) (ti, td float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	k := p.K()
+	y0 := p.C
+	x0 := -k * y0
+
+	ld := p.RegionLinear(Decrease)
+	arcD, err := NewArc(ld.M, ld.N, k, x0, y0)
+	if err != nil {
+		return 0, 0, err
+	}
+	tBack, ok := arcD.FirstSwitch(1e-9 * arcD.TimeScale())
+	if !ok {
+		return 0, 0, fmt.Errorf("core: decrease arc glides (no oscillation round; %v)", p.Case())
+	}
+	x1, y1 := arcD.At(tBack)
+
+	li := p.RegionLinear(Increase)
+	arcI, err := NewArc(li.M, li.N, k, x1, y1)
+	if err != nil {
+		return 0, 0, err
+	}
+	tBack2, ok := arcI.FirstSwitch(1e-9 * arcI.TimeScale())
+	if !ok {
+		return 0, 0, fmt.Errorf("core: increase arc glides (no oscillation round; %v)", p.Case())
+	}
+	return tBack2, tBack, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyticRhoMatchesSolve(t *testing.T) {
+	p := FigureExample()
+	rho, err := AnalyticRho(p)
+	if err != nil {
+		t.Fatalf("AnalyticRho: %v", err)
+	}
+	tr, err := Solve(p, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rho == 0 {
+		t.Fatal("Solve measured no ratio")
+	}
+	if math.Abs(rho-tr.Rho)/tr.Rho > 1e-6 {
+		t.Errorf("analytic rho = %v vs measured %v", rho, tr.Rho)
+	}
+	if !(rho > 0 && rho < 1) {
+		t.Errorf("rho = %v, want in (0, 1)", rho)
+	}
+}
+
+func TestAnalyticRhoPaperExample(t *testing.T) {
+	rho, err := AnalyticRho(PaperExample())
+	if err != nil {
+		t.Fatalf("AnalyticRho: %v", err)
+	}
+	// The weakly damped paper defaults: rho just below 1 (~0.9985).
+	if rho < 0.99 || rho >= 1 {
+		t.Errorf("rho = %v, want just below 1", rho)
+	}
+}
+
+func TestAnalyticRhoGlidingCases(t *testing.T) {
+	for _, kind := range []CaseKind{Case3, Case4} {
+		if _, err := AnalyticRho(CaseExample(kind)); err == nil {
+			t.Errorf("%v: expected a no-return-round error", kind)
+		}
+	}
+	if _, err := AnalyticRho(Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestQuickAnalyticRhoBelowOne: the linearized system always contracts —
+// the analytic proof that the paper's exact limit cycle is a boundary
+// phenomenon, checked over random Case-1 parameters.
+func TestQuickAnalyticRhoBelowOne(t *testing.T) {
+	prop := func(giRaw, gdRaw, wRaw uint8) bool {
+		p := FigureExample()
+		p.Gi = 0.05 + float64(giRaw%32)/8
+		p.Gd = 1.0 / (16 + float64(gdRaw))
+		p.W = 0.25 + float64(wRaw%32)/4
+		p.B = 1e12
+		if p.Case() != Case1 {
+			return true
+		}
+		rho, err := AnalyticRho(p)
+		if err != nil {
+			return true
+		}
+		return rho > 0 && rho < 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundDurationsMatchTransient(t *testing.T) {
+	p := FigureExample()
+	ti, td, err := RoundDurations(p)
+	if err != nil {
+		t.Fatalf("RoundDurations: %v", err)
+	}
+	// For spirals each region's crossing-to-crossing time is close to
+	// the half-turn period pi/beta.
+	li := p.RegionLinear(Increase)
+	ld := p.RegionLinear(Decrease)
+	betaI := math.Sqrt(-li.Discriminant()) / 2
+	betaD := math.Sqrt(-ld.Discriminant()) / 2
+	if math.Abs(ti-math.Pi/betaI)/(math.Pi/betaI) > 0.01 {
+		t.Errorf("T_i = %v, want ~pi/beta_i = %v", ti, math.Pi/betaI)
+	}
+	if math.Abs(td-math.Pi/betaD)/(math.Pi/betaD) > 0.01 {
+		t.Errorf("T_d = %v, want ~pi/beta_d = %v", td, math.Pi/betaD)
+	}
+	// And the sum is the oscillation period the transient metrics see.
+	m, err := Transient(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.PeriodValid {
+		t.Fatal("no measured period")
+	}
+	if math.Abs((ti+td)-m.OscillationPeriod)/m.OscillationPeriod > 0.01 {
+		t.Errorf("T_i+T_d = %v vs measured period %v", ti+td, m.OscillationPeriod)
+	}
+	// Gliding cases have no round.
+	if _, _, err := RoundDurations(CaseExample(Case4)); err == nil {
+		t.Error("expected a no-round error for Case 4")
+	}
+	if _, _, err := RoundDurations(Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Outcome classifies how a stitched trajectory ended.
+type Outcome int
+
+// Trajectory outcomes.
+const (
+	// OutcomeConverged: the state entered the convergence ball around
+	// the equilibrium (directly or via the asymptotic contraction
+	// short-circuit).
+	OutcomeConverged Outcome = iota + 1
+	// OutcomeOverflow: the queue hit the buffer ceiling (x ≥ B − q0);
+	// packets would be dropped. Not strongly stable.
+	OutcomeOverflow
+	// OutcomeUnderflow: the queue emptied after start (x ≤ −q0 with
+	// t > 0); the link would idle. Not strongly stable.
+	OutcomeUnderflow
+	// OutcomeLimitCycle: successive returns to the switching line
+	// repeat (contraction ratio ≈ 1); the queue oscillates forever
+	// with constant amplitude.
+	OutcomeLimitCycle
+	// OutcomeDiverging: successive returns grow (ratio > 1).
+	OutcomeDiverging
+	// OutcomeHorizon: the arc or time budget ran out first.
+	OutcomeHorizon
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeConverged:
+		return "converged"
+	case OutcomeOverflow:
+		return "overflow"
+	case OutcomeUnderflow:
+		return "underflow"
+	case OutcomeLimitCycle:
+		return "limit cycle"
+	case OutcomeDiverging:
+		return "diverging"
+	case OutcomeHorizon:
+		return "horizon reached"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// StronglyStable reports whether the outcome satisfies Definition 1
+// (strong stability): the queue eventually stays strictly inside (0, B).
+// A limit cycle strictly inside the strip is strongly stable in the
+// paper's sense (trajectories ℓ5/ℓ7 of Fig. 3) even though it harms
+// fairness and convergence.
+func (o Outcome) StronglyStable() bool {
+	return o == OutcomeConverged || o == OutcomeLimitCycle
+}
+
+// Segment is one closed-form arc of a stitched trajectory.
+type Segment struct {
+	// Region is the active rate law.
+	Region Region
+	// Kind is the closed-form family of this arc.
+	Kind ArcKind
+	// T0 is the global start time; Duration the arc length in time.
+	T0, Duration float64
+	// X0, Y0 is the entry state.
+	X0, Y0 float64
+}
+
+// SwitchCrossing is one crossing of the switching line x + k·y = 0.
+type SwitchCrossing struct {
+	T, X, Y float64
+	// To is the region being entered.
+	To Region
+}
+
+// Extremum is a local extremum of x(t) (a y-zero along an arc).
+type Extremum struct {
+	T, X float64
+	// Max is true for local maxima.
+	Max bool
+}
+
+// Trajectory is a stitched piecewise-closed-form solution of the
+// linearized switched system (paper eq. 9) with buffer enforcement.
+type Trajectory struct {
+	// Params echoes the generating parameters.
+	Params Params
+	// T, X, Y is the sampled polyline in global time.
+	T, X, Y []float64
+	// Segments lists the arcs in order.
+	Segments []Segment
+	// Crossings lists the switching-line crossings in order.
+	Crossings []SwitchCrossing
+	// Extrema lists the x-extrema encountered.
+	Extrema []Extremum
+	// Outcome tells how the trajectory ended.
+	Outcome Outcome
+	// MaxX, MinX are the extreme x excursions (shifted coordinates).
+	MaxX, MinX float64
+	// Rho is the measured per-round contraction ratio of switching-line
+	// returns (0 when fewer than two same-side returns were seen).
+	Rho float64
+	// EndT, EndX, EndY is the final state.
+	EndT, EndX, EndY float64
+
+	// launchEnd is the time through which boundary-resting samples are
+	// excused from the extremes (0, or the warm-up duration).
+	launchEnd float64
+}
+
+// QueueSeries returns the queue-length polyline q(t) = q0 + x(t) in
+// original coordinates (bits).
+func (tr *Trajectory) QueueSeries() (t, q []float64) {
+	t = make([]float64, len(tr.T))
+	q = make([]float64, len(tr.T))
+	copy(t, tr.T)
+	for i, x := range tr.X {
+		q[i] = tr.Params.Q0 + x
+	}
+	return t, q
+}
+
+// RateSeries returns the aggregate-rate polyline N·r(t) = C + y(t) in
+// original coordinates (bits/s).
+func (tr *Trajectory) RateSeries() (t, r []float64) {
+	t = make([]float64, len(tr.T))
+	r = make([]float64, len(tr.T))
+	copy(t, tr.T)
+	for i, y := range tr.Y {
+		r[i] = tr.Params.C + y
+	}
+	return t, r
+}
+
+// MaxQueue and MinQueue return the queue extremes in original coordinates.
+func (tr *Trajectory) MaxQueue() float64 { return tr.Params.Q0 + tr.MaxX }
+
+// MinQueue returns the minimum queue length reached (original coordinates).
+func (tr *Trajectory) MinQueue() float64 { return tr.Params.Q0 + tr.MinX }
+
+// SolveOptions configures Solve. The zero value requests the paper's
+// canonical start (−q0, 0) with defaults suitable for stability verdicts.
+type SolveOptions struct {
+	// Start overrides the initial state (x0, y0); nil means (−q0, 0).
+	Start *[2]float64
+	// WarmupFromRate, when non-nil, prepends the paper's warm-up phase:
+	// the state starts at (−q0, N·μ−C) and slides along the empty-queue
+	// boundary x = −q0 with dy/dt = a·q0 until y reaches 0 (§IV-C).
+	// μ is the per-source initial rate; N·μ must not exceed C.
+	WarmupFromRate *float64
+	// MaxArcs bounds the number of stitched arcs (default 1e6).
+	MaxArcs int
+	// SamplesPerArc controls polyline resolution (default 64).
+	SamplesPerArc int
+	// ConvergeTol is the relative convergence tolerance: converged when
+	// |x| < tol·q0 and |y| < tol·C (default 1e-3).
+	ConvergeTol float64
+	// ShortCircuit permits declaring convergence analytically once the
+	// per-round contraction ratio is measured < 1 and the first-round
+	// extrema passed the buffer check (default true; set
+	// DisableShortCircuit to turn off).
+	DisableShortCircuit bool
+	// IgnoreBuffer disables overflow/underflow termination (pure phase
+	// portrait of the unconstrained system).
+	IgnoreBuffer bool
+	// CycleTol is the relative tolerance for declaring a limit cycle
+	// from the contraction ratio (default 1e-6).
+	CycleTol float64
+}
+
+func (o SolveOptions) withDefaults(p Params) SolveOptions {
+	if o.MaxArcs <= 0 {
+		o.MaxArcs = 1_000_000
+	}
+	if o.SamplesPerArc <= 0 {
+		o.SamplesPerArc = 64
+	}
+	if o.ConvergeTol <= 0 {
+		o.ConvergeTol = 1e-3
+	}
+	if o.CycleTol <= 0 {
+		o.CycleTol = 1e-6
+	}
+	if o.Start == nil {
+		o.Start = &[2]float64{-p.Q0, 0}
+	}
+	return o
+}
+
+// Solve stitches closed-form arcs of the linearized switched system from
+// the initial state, enforcing the buffer strip and classifying the
+// outcome. It is the analytic engine behind every phase-portrait figure
+// and stability verdict in this repository.
+func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(p)
+	k := p.K()
+	tr := &Trajectory{
+		Params: p,
+		MaxX:   math.Inf(-1),
+		MinX:   math.Inf(1),
+	}
+
+	x, y := opts.Start[0], opts.Start[1]
+	tGlobal := 0.0
+
+	if opts.WarmupFromRate != nil {
+		t0, err := p.WarmupTime(*opts.WarmupFromRate)
+		if err != nil {
+			return nil, err
+		}
+		tr.launchEnd = t0
+		tGlobal, y, err = appendWarmup(tr, p, *opts.WarmupFromRate, opts.SamplesPerArc)
+		if err != nil {
+			return nil, err
+		}
+		x = -p.Q0
+	}
+
+	tolX := opts.ConvergeTol * p.Q0
+	tolY := opts.ConvergeTol * p.C
+	xHi := p.B - p.Q0 // overflow boundary
+	xLo := -p.Q0      // underflow boundary
+
+	// Same-side return amplitudes for contraction measurement: the
+	// |distance from origin| at crossings entering the Decrease region.
+	var enterDecrease []float64
+	bufferCheckedRounds := 0
+
+	// The active region is carried across crossings explicitly: crossing
+	// points land on the switching line only up to roundoff, so
+	// re-deriving the region from the state there would be fragile.
+	region := p.RegionAt(x, y)
+	for arcIdx := 0; arcIdx < opts.MaxArcs; arcIdx++ {
+		lin := p.RegionLinear(region)
+		arc, err := NewArc(lin.M, lin.N, k, x, y)
+		if err != nil {
+			return nil, err
+		}
+		eps := 1e-9 * arc.TimeScale()
+
+		tSwitch, hasSwitch := arc.FirstSwitch(eps)
+		var tEnd float64
+		if hasSwitch {
+			tEnd = tSwitch
+		} else {
+			// Terminal arc gliding to the origin: integrate until
+			// inside the convergence ball.
+			tEnd = glideTime(arc, tolX, tolY)
+		}
+
+		// Record the extremum (if any) inside this arc. x is at a
+		// maximum when y falls through zero, i.e. the arc entered
+		// with y > 0 (or with y = 0 and dy/dt = −n·x > 0).
+		if tz, ok := arc.FirstYZero(eps); ok && tz < tEnd {
+			xz, _ := arc.At(tz)
+			isMax := y > 0 || (y == 0 && x < 0)
+			tr.Extrema = append(tr.Extrema, Extremum{T: tGlobal + tz, X: xz, Max: isMax})
+		}
+
+		// Buffer enforcement: earliest boundary hit inside (eps, tEnd].
+		if !opts.IgnoreBuffer {
+			if tb, hi, ok := firstBoundaryHit(arc, eps, tEnd, xLo, xHi); ok {
+				sampleArc(tr, arc, tGlobal, tb, opts.SamplesPerArc, x, y)
+				xb, yb := arc.At(tb)
+				finish(tr, tGlobal+tb, xb, yb)
+				if hi {
+					tr.Outcome = OutcomeOverflow
+				} else {
+					tr.Outcome = OutcomeUnderflow
+				}
+				return tr, nil
+			}
+		}
+
+		sampleArc(tr, arc, tGlobal, tEnd, opts.SamplesPerArc, x, y)
+		tr.Segments = append(tr.Segments, Segment{
+			Region: region, Kind: arc.Kind(), T0: tGlobal, Duration: tEnd, X0: x, Y0: y,
+		})
+
+		xNext, yNext := arc.At(tEnd)
+		tGlobal += tEnd
+
+		if !hasSwitch {
+			// Glided to the origin inside this region.
+			finish(tr, tGlobal, xNext, yNext)
+			tr.Outcome = OutcomeConverged
+			return tr, nil
+		}
+
+		// Crossing bookkeeping: on the line σ̇ = −y, so y > 0 enters
+		// the decrease region.
+		next := Increase
+		if yNext > 0 {
+			next = Decrease
+		}
+		tr.Crossings = append(tr.Crossings, SwitchCrossing{T: tGlobal, X: xNext, Y: yNext, To: next})
+		region = next
+		if next == Decrease {
+			enterDecrease = append(enterDecrease, math.Abs(xNext))
+			bufferCheckedRounds++
+		}
+
+		// Convergence at the crossing point.
+		if math.Abs(xNext) < tolX && math.Abs(yNext) < tolY {
+			finish(tr, tGlobal, xNext, yNext)
+			tr.Outcome = OutcomeConverged
+			return tr, nil
+		}
+
+		// Contraction ratio after two same-side returns.
+		if n := len(enterDecrease); n >= 2 && enterDecrease[n-2] > 0 {
+			rho := enterDecrease[n-1] / enterDecrease[n-2]
+			tr.Rho = rho
+			switch {
+			case math.Abs(rho-1) <= opts.CycleTol:
+				finish(tr, tGlobal, xNext, yNext)
+				tr.Outcome = OutcomeLimitCycle
+				return tr, nil
+			case rho > 1+opts.CycleTol:
+				// Diverging returns: the trajectory will
+				// eventually hit the buffer unless stopped.
+				if opts.IgnoreBuffer {
+					finish(tr, tGlobal, xNext, yNext)
+					tr.Outcome = OutcomeDiverging
+					return tr, nil
+				}
+			case !opts.DisableShortCircuit && bufferCheckedRounds >= 2:
+				// Strict contraction measured and the widest
+				// (first) round cleared the buffer strip:
+				// later rounds scale down by ρ < 1, so the
+				// system converges without further excursions.
+				finish(tr, tGlobal, xNext, yNext)
+				tr.Outcome = OutcomeConverged
+				return tr, nil
+			}
+		}
+		x, y = xNext, yNext
+	}
+	t := tGlobal
+	finish(tr, t, x, y)
+	tr.Outcome = OutcomeHorizon
+	return tr, nil
+}
+
+// appendWarmup emits the empty-queue acceleration phase onto tr and
+// returns the elapsed time and final y (which is 0 by construction).
+func appendWarmup(tr *Trajectory, p Params, mu float64, samples int) (tEnd, yEnd float64, err error) {
+	t0, err := p.WarmupTime(mu)
+	if err != nil {
+		return 0, 0, err
+	}
+	y0 := float64(p.N)*mu - p.C
+	accel := p.A() * p.Q0
+	for i := 0; i <= samples; i++ {
+		t := t0 * float64(i) / float64(samples)
+		appendPoint(tr, t, -p.Q0, y0+accel*t)
+	}
+	tr.Segments = append(tr.Segments, Segment{
+		Region: Increase, Kind: ArcCritical /* degenerate boundary slide */, T0: 0, Duration: t0, X0: -p.Q0, Y0: y0,
+	})
+	return t0, 0, nil
+}
+
+// glideTime finds a time by which the non-switching arc is inside the
+// convergence box, by doubling from the arc's characteristic time.
+func glideTime(arc Arc, tolX, tolY float64) float64 {
+	t := arc.TimeScale()
+	for i := 0; i < 200; i++ {
+		x, y := arc.At(t)
+		if math.Abs(x) < tolX && math.Abs(y) < tolY {
+			return t
+		}
+		t *= 2
+	}
+	return t
+}
+
+// sampleArc appends the arc polyline on [0, tEnd] at the given resolution.
+// The entry state (x0, y0) is used verbatim for the first sample so that
+// closed-form roundoff does not perturb recorded junction points.
+func sampleArc(tr *Trajectory, arc Arc, tGlobal, tEnd float64, samples int, x0, y0 float64) {
+	appendPoint(tr, tGlobal, x0, y0)
+	for i := 1; i <= samples; i++ {
+		t := tEnd * float64(i) / float64(samples)
+		x, y := arc.At(t)
+		appendPoint(tr, tGlobal+t, x, y)
+	}
+}
+
+func appendPoint(tr *Trajectory, t, x, y float64) {
+	// Skip duplicate junction points.
+	if n := len(tr.T); n > 0 && tr.T[n-1] == t {
+		return
+	}
+	tr.T = append(tr.T, t)
+	tr.X = append(tr.X, x)
+	tr.Y = append(tr.Y, y)
+	// MaxX/MinX measure the excursion after launch: the canonical start
+	// rests on the empty-queue boundary x = −q0 (as does the warm-up
+	// slide), which Definition 1 excuses, so boundary-resting launch
+	// samples do not count toward the extremes.
+	if x <= -tr.Params.Q0 && t <= tr.launchEnd {
+		return
+	}
+	if x > tr.MaxX {
+		tr.MaxX = x
+	}
+	if x < tr.MinX {
+		tr.MinX = x
+	}
+}
+
+func finish(tr *Trajectory, t, x, y float64) {
+	appendPoint(tr, t, x, y)
+	tr.EndT, tr.EndX, tr.EndY = t, x, y
+	if len(tr.T) > 0 && math.IsInf(tr.MaxX, -1) {
+		tr.MaxX, tr.MinX = tr.X[0], tr.X[0]
+	}
+}
+
+// firstBoundaryHit finds the earliest time in (0, tEnd] at which x(t)
+// reaches xLo or xHi; hi is true for an xHi (overflow) hit. Within one
+// arc, x(t) is monotone between y-zeros and the arc contains at most one
+// y-zero before its end, so checking the entry point, the extremum and the
+// endpoint is exact; the crossing time is then refined by bisection on the
+// monotone piece.
+//
+// An entry state resting exactly on a boundary (the canonical start at an
+// empty queue, x = −q0) is not a hit: the trajectory is entering the
+// interior.
+func firstBoundaryHit(arc Arc, eps, tEnd, xLo, xHi float64) (t float64, hi, ok bool) {
+	type knot struct{ t, x float64 }
+	x0, _ := arc.At(0)
+	knots := []knot{{0, x0}}
+	if tz, okz := arc.FirstYZero(eps); okz && tz < tEnd {
+		xz, _ := arc.At(tz)
+		knots = append(knots, knot{tz, xz})
+	}
+	xe, _ := arc.At(tEnd)
+	knots = append(knots, knot{tEnd, xe})
+
+	for i := 1; i < len(knots); i++ {
+		a, b := knots[i-1], knots[i]
+		switch {
+		case b.x >= xHi && a.x < xHi:
+			return refineBoundary(arc, a.t, b.t, xHi, true), true, true
+		case b.x <= xLo && a.x > xLo:
+			return refineBoundary(arc, a.t, b.t, xLo, false), false, true
+		case i == 1 && (a.x >= xHi && b.x > a.x):
+			// Entered at/beyond the ceiling and moving out.
+			return a.t, true, true
+		case i == 1 && (a.x <= xLo && b.x < a.x):
+			// Entered at/below the floor and moving further out.
+			return a.t, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// refineBoundary bisects for x(t) = c on [lo, hi] where x(lo) is inside
+// and x(hi) outside.
+func refineBoundary(arc Arc, lo, hi, c float64, upper bool) float64 {
+	inside := func(x float64) bool {
+		if upper {
+			return x < c
+		}
+		return x > c
+	}
+	for i := 0; i < 80; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		x, _ := arc.At(mid)
+		if inside(x) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Analyze solves the trajectory from the canonical start and summarizes
+// strong stability: the verdict, extremes, contraction ratio and the
+// Theorem 1 comparison.
+type Analysis struct {
+	Report     CriterionReport
+	Trajectory *Trajectory
+	// StronglyStable is the trajectory-level verdict (Definition 1).
+	StronglyStable bool
+}
+
+// Analyze runs both the criteria evaluation and the stitched trajectory.
+func Analyze(p Params, opts SolveOptions) (*Analysis, error) {
+	rep, err := Criteria(p)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := Solve(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		Report:         rep,
+		Trajectory:     tr,
+		StronglyStable: tr.Outcome.StronglyStable(),
+	}, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// TransientMetrics quantifies the transient performance of a stitched
+// trajectory — the analysis the paper defers to future work ("investigate
+// the transient behaviors of BCN system and evaluate the impact of
+// parameters on the transient performance").
+type TransientMetrics struct {
+	// OvershootRatio is max(q)/q0 − 1 (0 when the queue never exceeds
+	// the reference).
+	OvershootRatio float64
+	// UndershootRatio is 1 − min(q)/q0 after launch.
+	UndershootRatio float64
+	// RiseTime is the first time the queue reaches the reference q0.
+	RiseTime float64
+	// RiseTimeValid is false when the queue never reaches q0 within
+	// the solved horizon.
+	RiseTimeValid bool
+	// OscillationPeriod is the mean time between successive crossings
+	// into the decrease region (≈ T_i + T_d of the paper's Fig. 6).
+	OscillationPeriod float64
+	// PeriodValid is false with fewer than two such crossings.
+	PeriodValid bool
+	// Rho is the per-round amplitude contraction ratio.
+	Rho float64
+	// RoundsToHalve is log(1/2)/log(ρ); +Inf at ρ ≥ 1.
+	RoundsToHalve float64
+	// SettleTime estimates the time for the oscillation amplitude to
+	// decay within band·q0 of the reference: RoundsToDecay × period.
+	SettleTime float64
+	// SettleValid is false when the estimate is unavailable (no
+	// contraction measured or no period).
+	SettleValid bool
+}
+
+// Transient computes transient metrics for the canonical trajectory of p
+// with an effectively unconstrained buffer (the transient question is
+// about shape, not clipping). The band parameter sets the settling
+// criterion as a fraction of q0 (e.g. 0.05 for ±5%).
+func Transient(p Params, band float64) (TransientMetrics, error) {
+	if err := p.Validate(); err != nil {
+		return TransientMetrics{}, err
+	}
+	if !(band > 0) || band >= 1 {
+		return TransientMetrics{}, fmt.Errorf("%w: band=%v must be in (0, 1)", ErrInvalidParams, band)
+	}
+	tr, err := Solve(p, SolveOptions{IgnoreBuffer: true})
+	if err != nil {
+		return TransientMetrics{}, err
+	}
+	return TransientOf(tr, band)
+}
+
+// TransientOf computes the metrics from an existing trajectory.
+func TransientOf(tr *Trajectory, band float64) (TransientMetrics, error) {
+	if !(band > 0) || band >= 1 {
+		return TransientMetrics{}, fmt.Errorf("%w: band=%v must be in (0, 1)", ErrInvalidParams, band)
+	}
+	p := tr.Params
+	var m TransientMetrics
+	if tr.MaxX > 0 {
+		m.OvershootRatio = tr.MaxX / p.Q0
+	}
+	if tr.MinX < 0 && !math.IsInf(tr.MinX, 1) {
+		m.UndershootRatio = -tr.MinX / p.Q0
+	}
+
+	// Rise time: first polyline crossing of x = 0 (q = q0).
+	for i := 1; i < len(tr.X); i++ {
+		if (tr.X[i-1] < 0) != (tr.X[i] < 0) {
+			// Linear interpolation inside the step.
+			w := -tr.X[i-1] / (tr.X[i] - tr.X[i-1])
+			m.RiseTime = tr.T[i-1] + w*(tr.T[i]-tr.T[i-1])
+			m.RiseTimeValid = true
+			break
+		}
+	}
+
+	// Oscillation period from crossings entering the decrease region.
+	var enterD []float64
+	for _, c := range tr.Crossings {
+		if c.To == Decrease {
+			enterD = append(enterD, c.T)
+		}
+	}
+	if len(enterD) >= 2 {
+		m.OscillationPeriod = (enterD[len(enterD)-1] - enterD[0]) / float64(len(enterD)-1)
+		m.PeriodValid = true
+	}
+
+	m.Rho = tr.Rho
+	m.RoundsToHalve = math.Inf(1)
+	if tr.Rho > 0 && tr.Rho < 1 {
+		m.RoundsToHalve = math.Log(0.5) / math.Log(tr.Rho)
+	}
+
+	// Settling estimate: amplitude decays geometrically with ρ per
+	// round; the first-round amplitude is max(|MaxX|, |MinX|).
+	if m.PeriodValid && tr.Rho > 0 && tr.Rho < 1 {
+		amp0 := math.Max(math.Abs(tr.MaxX), math.Abs(tr.MinX))
+		target := band * p.Q0
+		if amp0 > target {
+			rounds := math.Log(target/amp0) / math.Log(tr.Rho)
+			m.SettleTime = rounds * m.OscillationPeriod
+			m.SettleValid = true
+		} else {
+			m.SettleTime = 0
+			m.SettleValid = true
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransientFigureExample(t *testing.T) {
+	p := FigureExample()
+	m, err := Transient(p, 0.05)
+	if err != nil {
+		t.Fatalf("Transient: %v", err)
+	}
+	// Case 1 overshoots: max1/q0 ≈ 1.012 at these parameters (the
+	// near-tight bound sqrt(a/bC) = 1.0119...).
+	if m.OvershootRatio <= 0.9 || m.OvershootRatio >= 1.2 {
+		t.Errorf("overshoot ratio = %v, want ~1.01", m.OvershootRatio)
+	}
+	if m.UndershootRatio <= 0.9 || m.UndershootRatio > 1 {
+		t.Errorf("undershoot ratio = %v, want just under 1", m.UndershootRatio)
+	}
+	if !m.RiseTimeValid || m.RiseTime <= 0 {
+		t.Errorf("rise time = %v (valid=%v)", m.RiseTime, m.RiseTimeValid)
+	}
+	// Period ≈ π/β_i + π/β_d ≈ 1.11 ms + 1.12 ms.
+	if !m.PeriodValid {
+		t.Fatal("period not measured")
+	}
+	if m.OscillationPeriod < 1.8e-3 || m.OscillationPeriod > 2.8e-3 {
+		t.Errorf("period = %v, want ~2.2 ms", m.OscillationPeriod)
+	}
+	if !(m.Rho > 0.999 && m.Rho < 1) {
+		t.Errorf("rho = %v", m.Rho)
+	}
+	if math.IsInf(m.RoundsToHalve, 1) || m.RoundsToHalve < 1000 {
+		t.Errorf("rounds to halve = %v, want tens of thousands", m.RoundsToHalve)
+	}
+	if !m.SettleValid || m.SettleTime <= 0 {
+		t.Errorf("settle time = %v (valid=%v)", m.SettleTime, m.SettleValid)
+	}
+	// Settling must take many periods at this weak damping.
+	if m.SettleTime < 100*m.OscillationPeriod {
+		t.Errorf("settle time %v suspiciously small vs period %v", m.SettleTime, m.OscillationPeriod)
+	}
+}
+
+func TestTransientCase3NoOvershootNoPeriod(t *testing.T) {
+	p := CaseExample(Case3)
+	m, err := Transient(p, 0.05)
+	if err != nil {
+		t.Fatalf("Transient: %v", err)
+	}
+	if m.OvershootRatio > 1e-6 {
+		t.Errorf("Case 3 overshoot = %v, want 0", m.OvershootRatio)
+	}
+	if m.PeriodValid {
+		t.Error("Case 3 glide should have no oscillation period")
+	}
+}
+
+// TestTransientWSweepImprovesSettling verifies that increasing w shortens
+// settling — the quantitative form of the paper's transient remark.
+func TestTransientWSweepImprovesSettling(t *testing.T) {
+	base := FigureExample()
+	var prev float64 = math.Inf(1)
+	for _, w := range []float64{1, 4, 16} {
+		p := base
+		p.W = w
+		m, err := Transient(p, 0.05)
+		if err != nil {
+			t.Fatalf("w=%v: %v", w, err)
+		}
+		if !m.SettleValid {
+			t.Fatalf("w=%v: no settling estimate", w)
+		}
+		if m.SettleTime >= prev {
+			t.Errorf("w=%v: settle time %v did not improve on %v", w, m.SettleTime, prev)
+		}
+		prev = m.SettleTime
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	if _, err := Transient(Params{}, 0.05); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Transient(FigureExample(), 0); err == nil {
+		t.Error("zero band accepted")
+	}
+	if _, err := Transient(FigureExample(), 1.5); err == nil {
+		t.Error("band above 1 accepted")
+	}
+	tr, err := Solve(FigureExample(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TransientOf(tr, -1); err == nil {
+		t.Error("TransientOf with bad band accepted")
+	}
+}

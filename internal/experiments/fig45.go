@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/plot"
+)
+
+// spiralRegimeArcs samples one closed-form arc over `turns` half-periods.
+func sampleArc(arc core.Arc, tEnd float64, n int) (xs, ys, ts []float64) {
+	xs = make([]float64, n+1)
+	ys = make([]float64, n+1)
+	ts = make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		t := tEnd * float64(i) / float64(n)
+		x, y := arc.At(t)
+		xs[i], ys[i], ts[i] = x, y, t
+	}
+	return xs, ys, ts
+}
+
+// Fig4 reproduces paper Fig. 4: logarithmic-spiral trajectories of one
+// linear regime with m² − 4n < 0, from two initial points, annotated with
+// the closest x-extrema maxˢ/minˢ of eqs. (18)–(20).
+func Fig4() (*Report, error) {
+	rep := &Report{
+		ID:    "fig4",
+		Title: "Spiral (stable focus) trajectories, m² − 4n < 0 (paper Fig. 4)",
+		Description: "Closed-form H-type solutions of one linear regime; markers show " +
+			"the first x-extremum after the start, the quantity bounded in Propositions 2-3.",
+	}
+	p := core.FigureExample()
+	lin := p.RegionLinear(core.Increase)
+	if lin.Discriminant() >= 0 {
+		return nil, fmt.Errorf("fig4: regime is not a spiral")
+	}
+	c := phaseChart("Fig.4 — spiral trajectories", p, 0) // span fixed below
+
+	starts := [][2]float64{
+		{-p.Q0, 0.3 * p.C},        // y(0) > 0 → closest extremum is a maximum
+		{0.7 * p.Q0, -0.25 * p.C}, // y(0) < 0 → closest extremum is a minimum
+	}
+	span := 0.0
+	for i, st := range starts {
+		arc, err := core.NewArc(lin.M, lin.N, p.K(), st[0], st[1])
+		if err != nil {
+			return nil, fmt.Errorf("fig4: %w", err)
+		}
+		// Two full turns.
+		horizon := 4 * arc.TimeScale()
+		xs, ys, ts := sampleArc(arc, horizon, 512)
+		c.Add(plot.Series{Name: fmt.Sprintf("spiral from (%.3g, %.3g)", st[0], st[1]), X: xs, Y: ys})
+		rep.Series = append(rep.Series, NamedSeries{Name: fmt.Sprintf("spiral%d_x", i+1), T: ts, V: xs})
+		for _, y := range ys {
+			if a := math.Abs(y); a > span {
+				span = a
+			}
+		}
+		// Closest extremum.
+		tz, ok := arc.FirstYZero(1e-12 * arc.TimeScale())
+		if !ok {
+			return nil, fmt.Errorf("fig4: spiral has no extremum")
+		}
+		xz, _ := arc.At(tz)
+		label := "min_s"
+		if st[1] > 0 {
+			label = "max_s"
+		}
+		c.AddMarker(plot.Marker{X: xz, Y: 0, Label: label, Color: "#d55e00"})
+		rep.AddNumber(fmt.Sprintf("extremum %d (x at first y-zero)", i+1), xz, "bits")
+		rep.AddNumber(fmt.Sprintf("extremum %d time t*", i+1), tz, "s")
+	}
+	// Eigenvalue annotations.
+	e := core.Linear{M: lin.M, N: lin.N}
+	alpha := -e.M / 2
+	beta := math.Sqrt(-e.Discriminant()) / 2
+	rep.AddNumber("alpha (Re eigenvalue)", alpha, "1/s")
+	rep.AddNumber("beta (Im eigenvalue)", beta, "rad/s")
+	rep.AddNumber("per-turn radius contraction exp(2*pi*alpha/beta)", math.Exp(2*math.Pi*alpha/beta), "")
+	rep.Charts = []NamedChart{{Name: "portrait", Chart: c}}
+	return rep, nil
+}
+
+// Fig5 reproduces paper Fig. 5: node trajectories of one linear regime
+// with m² − 4n > 0, with the invariant eigenlines y = λ1·x and y = λ2·x
+// and the global extremum of eq. (28).
+func Fig5() (*Report, error) {
+	rep := &Report{
+		ID:    "fig5",
+		Title: "Node trajectories, m² − 4n > 0 (paper Fig. 5)",
+		Description: "Closed-form F-type solutions; straight lines are the invariant " +
+			"eigendirections, and the marker is the global x-extremum where y = 0.",
+	}
+	// The decrease regime of the Case-4 set is a node.
+	p := core.CaseExample(core.Case4)
+	lin := p.RegionLinear(core.Decrease)
+	if lin.Discriminant() <= 0 {
+		return nil, fmt.Errorf("fig5: regime is not a node")
+	}
+	disc := math.Sqrt(lin.Discriminant())
+	l1 := (-lin.M - disc) / 2
+	l2 := (-lin.M + disc) / 2
+
+	c := phaseChart("Fig.5 — node trajectories", p, 0)
+	starts := [][2]float64{
+		{-p.Q0, 0.4 * p.C},
+		{0.8 * p.Q0, -0.3 * p.C},
+		{-0.5 * p.Q0, -0.2 * p.C},
+	}
+	span := 0.0
+	for i, st := range starts {
+		arc, err := core.NewArc(lin.M, lin.N, p.K(), st[0], st[1])
+		if err != nil {
+			return nil, fmt.Errorf("fig5: %w", err)
+		}
+		horizon := 8 * arc.TimeScale()
+		xs, ys, ts := sampleArc(arc, horizon, 512)
+		c.Add(plot.Series{Name: fmt.Sprintf("node from (%.3g, %.3g)", st[0], st[1]), X: xs, Y: ys})
+		rep.Series = append(rep.Series, NamedSeries{Name: fmt.Sprintf("node%d_x", i+1), T: ts, V: xs})
+		for _, y := range ys {
+			if a := math.Abs(y); a > span {
+				span = a
+			}
+		}
+		if tz, ok := arc.FirstYZero(1e-12 * arc.TimeScale()); ok {
+			xz, _ := arc.At(tz)
+			c.AddMarker(plot.Marker{X: xz, Y: 0, Label: "mum_p", Color: "#d55e00"})
+			rep.AddNumber(fmt.Sprintf("global extremum %d", i+1), xz, "bits")
+		}
+	}
+	// Eigenlines across the x-extent of the data.
+	xext := p.Q0
+	c.AddSegment("y = lambda1 x", -xext, l1*-xext, xext, l1*xext, "#999999", plot.Dotted)
+	c.AddSegment("y = lambda2 x", -xext, l2*-xext, xext, l2*xext, "#555555", plot.Dotted)
+	rep.AddNumber("lambda1", l1, "1/s")
+	rep.AddNumber("lambda2", l2, "1/s")
+	rep.AddNumber("-1/k (switching-line slope bound)", -1/p.K(), "1/s")
+	rep.Notes = append(rep.Notes, "the paper's ordering -1/k > lambda2 > lambda1 holds: "+
+		fmt.Sprintf("%.4g > %.4g > %.4g", -1/p.K(), l2, l1))
+	rep.Charts = []NamedChart{{Name: "portrait", Chart: c}}
+	if !(-1/p.K() > l2 && l2 > l1) {
+		rep.Notes = append(rep.Notes, "UNEXPECTED: eigenvalue ordering violated")
+	}
+	return rep, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bcnphase/internal/core"
+)
+
+// Fig6 reproduces paper Fig. 6: Case 1 (spiral in both regions) from the
+// canonical start (−q0, 0) — the phase portrait (a), the queue offset
+// x(t) (b) and the rate offset y(t) (c), plus the per-round durations
+// T_i^k / T_d^k the paper annotates.
+func Fig6() (*Report, error) {
+	p := core.FigureExample()
+	if p.Case() != core.Case1 {
+		return nil, fmt.Errorf("fig6: parameters are %v, want Case 1", p.Case())
+	}
+	rep := &Report{
+		ID:    "fig6",
+		Title: "Case 1 trajectory and dynamic behaviors (paper Fig. 6)",
+		Description: "a < 4pm²C²/w² and b < 4pm²C/w²: the queue moves along " +
+			"logarithmic spirals in both regions, alternating increase/decrease rounds.",
+	}
+	tr, err := core.Solve(p, core.SolveOptions{
+		DisableShortCircuit: true,
+		MaxArcs:             12, // six rounds for the figure
+		SamplesPerArc:       128,
+		IgnoreBuffer:        false,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+
+	portrait := phaseChart("Fig.6(a) — Case 1 phase portrait", p, ySpanOf(tr))
+	// The direction field of the nonlinear model (a light quiver layer,
+	// behind the trajectory).
+	span := ySpanOf(tr)
+	if err := addQuiver(portrait, p.FluidField(), -1.2*p.Q0, 1.2*p.Q0, -span, span, 13); err != nil {
+		return nil, fmt.Errorf("fig6: quiver: %w", err)
+	}
+	portrait.Add(trajSeries("trajectory from (-q0, 0)", tr))
+	for _, cr := range tr.Crossings {
+		portrait.AddMarker(markerAt(cr.X, cr.Y, ""))
+	}
+	xChart, yChart := timeSeriesCharts("Fig.6(b,c)", p, tr)
+
+	rounds := Table{
+		Name:   "per-round durations and crossings",
+		Header: []string{"arc", "region", "kind", "duration", "entry x", "entry y"},
+	}
+	for i, s := range tr.Segments {
+		rounds.Rows = append(rounds.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			s.Region.String(),
+			s.Kind.String(),
+			fmtDur(s.Duration),
+			fmtBits(s.X0),
+			fmt.Sprintf("%.4g", s.Y0),
+		})
+	}
+	rep.Tables = append(rep.Tables, rounds)
+
+	max1, min1, err := core.FirstRoundExtrema(p)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	rep.AddNumber("first-round overshoot max1", max1, "bits")
+	rep.AddNumber("first-round undershoot min1", min1, "bits")
+	rep.AddNumber("peak queue q0+max1", p.Q0+max1, "bits")
+	rep.AddNumber("Theorem 1 bound", core.Theorem1Bound(p), "bits")
+	rep.AddNumber("contraction ratio rho", tr.Rho, "")
+	rep.Charts = []NamedChart{
+		{Name: "portrait", Chart: portrait},
+		{Name: "queue", Chart: xChart},
+		{Name: "rate", Chart: yChart},
+	}
+	rep.Series = append(rep.Series,
+		NamedSeries{Name: "x", T: tr.T, V: tr.X},
+		NamedSeries{Name: "y", T: tr.T, V: tr.Y},
+	)
+	if max1 >= core.Theorem1Bound(p)-p.Q0 {
+		rep.Notes = append(rep.Notes, "UNEXPECTED: overshoot exceeds the Theorem 1 envelope")
+	}
+	return rep, nil
+}

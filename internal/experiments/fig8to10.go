@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/plot"
+)
+
+// caseFigure builds the common portrait + time-series report for the
+// Case 2/3/4 figures.
+func caseFigure(id, figName string, kind core.CaseKind, desc string) (*Report, *core.Trajectory, error) {
+	p := core.CaseExample(kind)
+	if p.Case() != kind {
+		return nil, nil, fmt.Errorf("%s: parameters are %v, want %v", id, p.Case(), kind)
+	}
+	rep := &Report{ID: id, Title: figName, Description: desc}
+	tr, err := core.Solve(p, core.SolveOptions{
+		DisableShortCircuit: true,
+		MaxArcs:             12,
+		SamplesPerArc:       128,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", id, err)
+	}
+	portrait := phaseChart(figName+" — phase portrait", p, ySpanOf(tr))
+	portrait.Add(trajSeries("trajectory from (-q0, 0)", tr))
+	xChart, yChart := timeSeriesCharts(figName, p, tr)
+	rep.Charts = []NamedChart{
+		{Name: "portrait", Chart: portrait},
+		{Name: "queue", Chart: xChart},
+		{Name: "rate", Chart: yChart},
+	}
+	rep.Series = append(rep.Series,
+		NamedSeries{Name: "x", T: tr.T, V: tr.X},
+		NamedSeries{Name: "y", T: tr.T, V: tr.Y},
+	)
+	rep.AddNumber("outcome strongly stable", boolTo01(tr.Outcome.StronglyStable()), "")
+	rep.AddNumber("max queue offset", tr.MaxX, "bits")
+	rep.AddNumber("min queue offset", tr.MinX, "bits")
+	arcTable := Table{Name: "arcs", Header: []string{"arc", "region", "kind", "duration"}}
+	for i, s := range tr.Segments {
+		arcTable.Rows = append(arcTable.Rows, []string{
+			fmt.Sprintf("%d", i+1), s.Region.String(), s.Kind.String(), fmtDur(s.Duration),
+		})
+	}
+	rep.Tables = append(rep.Tables, arcTable)
+	return rep, tr, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Fig8 reproduces paper Fig. 8 — Case 2 (a above threshold, b below):
+// parabola-like node arc in the increase region, spiral in the decrease
+// region; the trajectory must cross the switching line twice and approach
+// the origin along the asymptote y = λ2·x.
+func Fig8() (*Report, error) {
+	rep, tr, err := caseFigure("fig8", "Fig.8 — Case 2 (node/spiral)", core.Case2,
+		"a > 4pm²C²/w², b < 4pm²C/w²: node in the increase region, spiral in the decrease region.")
+	if err != nil {
+		return nil, err
+	}
+	if len(tr.Crossings) < 2 {
+		rep.Notes = append(rep.Notes, "UNEXPECTED: Case 2 trajectory crossed the switching line fewer than twice")
+	}
+	if tr.Segments[0].Kind != core.ArcNode {
+		rep.Notes = append(rep.Notes, "UNEXPECTED: first arc is not a node")
+	}
+	// Annotate the increase-region eigenlines.
+	p := core.CaseExample(core.Case2)
+	lin := p.RegionLinear(core.Increase)
+	disc := math.Sqrt(lin.Discriminant())
+	l1 := (-lin.M - disc) / 2
+	l2 := (-lin.M + disc) / 2
+	rep.AddNumber("lambda1 (increase)", l1, "1/s")
+	rep.AddNumber("lambda2 (increase)", l2, "1/s")
+	if c := rep.Charts[0].Chart; true {
+		xext := p.Q0
+		c.AddSegment("y = lambda2 x (asymptote)", -xext, l2*-xext, xext, l2*xext, "#555555", plot.Dotted)
+	}
+	return rep, nil
+}
+
+// Fig9 reproduces paper Fig. 9 — Case 3 (a below threshold, b above):
+// spiral in the increase region, node in the decrease region. After the
+// single switching-line crossing the motion glides to the origin inside
+// the second quadrant: the queue never overshoots the reference q0.
+func Fig9() (*Report, error) {
+	rep, tr, err := caseFigure("fig9", "Fig.9 — Case 3 (spiral/node)", core.Case3,
+		"a < 4pm²C²/w², b > 4pm²C/w²: spiral in increase, node in decrease; no overshoot above q0.")
+	if err != nil {
+		return nil, err
+	}
+	p := core.CaseExample(core.Case3)
+	if tr.MaxX > 1e-6*p.Q0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("UNEXPECTED: queue overshot q0 by %v bits", tr.MaxX))
+	}
+	if !tr.Outcome.StronglyStable() {
+		rep.Notes = append(rep.Notes, "UNEXPECTED: Case 3 must always be strongly stable (Proposition 4)")
+	}
+	if len(tr.Crossings) != 1 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("crossings = %d (paper predicts a single crossing)", len(tr.Crossings)))
+	}
+	return rep, nil
+}
+
+// Fig10 reproduces paper Fig. 10 — Case 4 (both coefficients above their
+// thresholds): node arcs in both regions; always strongly stable.
+func Fig10() (*Report, error) {
+	rep, tr, err := caseFigure("fig10", "Fig.10 — Case 4 (node/node)", core.Case4,
+		"a > 4pm²C²/w² and b > 4pm²C/w²: node in both regions; strong stability always holds.")
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range tr.Segments {
+		if s.Kind != core.ArcNode {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("UNEXPECTED: arc %d is %v, want node", i+1, s.Kind))
+		}
+	}
+	if !tr.Outcome.StronglyStable() {
+		rep.Notes = append(rep.Notes, "UNEXPECTED: Case 4 must always be strongly stable (Proposition 4)")
+	}
+	p := core.CaseExample(core.Case4)
+	if tr.MaxX > 1e-6*p.Q0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("queue overshoot above q0: %v bits", tr.MaxX))
+	}
+	return rep, nil
+}

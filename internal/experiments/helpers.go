@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/phaseplane"
+	"bcnphase/internal/plot"
+)
+
+// phaseChart builds an empty phase-plane chart for parameter set p with
+// the standard annotations of the paper's figures: the switching line
+// x + k·y = 0, the equilibrium marker at the origin, and the buffer strip
+// boundaries x = −q0 (empty queue) and x = B − q0 (full buffer).
+// ySpan sets the vertical extent used to draw the switching line.
+func phaseChart(title string, p core.Params, ySpan float64) *plot.Chart {
+	c := plot.NewChart(title, "x = q − q0 (bits)", "y = N·r − C (bits/s)")
+	k := p.K()
+	c.AddSegment("switching line x+ky=0", -k*(-ySpan), -ySpan, -k*ySpan, ySpan, "#888888", plot.Dashed)
+	c.AddVLine(-p.Q0, "empty (q=0)", "#cc0000")
+	c.AddVLine(p.B-p.Q0, "full (q=B)", "#cc0000")
+	c.AddMarker(plot.Marker{X: 0, Y: 0, Label: "equilibrium", Color: "#009e73"})
+	return c
+}
+
+// trajSeries converts a stitched trajectory to a chart series.
+func trajSeries(name string, tr *core.Trajectory) plot.Series {
+	return plot.Series{Name: name, X: tr.X, Y: tr.Y}
+}
+
+// ySpanOf returns a symmetric vertical extent covering the trajectory.
+func ySpanOf(trs ...*core.Trajectory) float64 {
+	span := 0.0
+	for _, tr := range trs {
+		for _, y := range tr.Y {
+			if a := math.Abs(y); a > span {
+				span = a
+			}
+		}
+	}
+	if span == 0 {
+		span = 1
+	}
+	return span
+}
+
+// timeSeriesCharts builds the paper's (b) and (c) panels: queue offset
+// x(t) and rate offset y(t) against time.
+func timeSeriesCharts(idTitle string, p core.Params, tr *core.Trajectory) (xChart, yChart *plot.Chart) {
+	xChart = plot.NewChart(idTitle+" — queue offset x(t)", "t (s)", "x (bits)")
+	xChart.AddXY("x(t)", tr.T, tr.X)
+	xChart.AddHLine(0, "q = q0", "#009e73")
+	xChart.AddHLine(-p.Q0, "q = 0", "#cc0000")
+	xChart.AddHLine(p.B-p.Q0, "q = B", "#cc0000")
+
+	yChart = plot.NewChart(idTitle+" — rate offset y(t)", "t (s)", "y (bits/s)")
+	yChart.AddXY("y(t)", tr.T, tr.Y)
+	yChart.AddHLine(0, "aggregate = C", "#009e73")
+	return xChart, yChart
+}
+
+// addQuiver overlays a sparse direction field onto a phase chart: short
+// unit-direction segments of the (possibly switched) vector field,
+// scaled to the data extents.
+func addQuiver(c *plot.Chart, field phaseplane.VectorField, xmin, xmax, ymin, ymax float64, n int) error {
+	arrows, err := phaseplane.Grid(field, xmin, xmax, ymin, ymax, n, n)
+	if err != nil {
+		return err
+	}
+	// Arrow length: a small fraction of the extent. Directions are
+	// normalized in *chart space* (per-axis scaling) because x and y
+	// live on wildly different physical scales — the raw unit vector
+	// would render near-vertical everywhere.
+	lx := 0.02 * (xmax - xmin)
+	ly := 0.02 * (ymax - ymin)
+	for _, a := range arrows {
+		if a.Mag == 0 {
+			continue
+		}
+		u := a.U * a.Mag / (xmax - xmin)
+		v := a.V * a.Mag / (ymax - ymin)
+		norm := math.Hypot(u, v)
+		if norm == 0 {
+			continue
+		}
+		c.AddSegment("", a.X, a.Y, a.X+lx*u/norm, a.Y+ly*v/norm, "#bbbbbb", plot.Solid)
+	}
+	return nil
+}
+
+// markerAt builds a small neutral marker.
+func markerAt(x, y float64, label string) plot.Marker {
+	return plot.Marker{X: x, Y: y, Label: label, Color: "#555555"}
+}
+
+// fmtBits renders a bit quantity compactly for tables.
+func fmtBits(v float64) string {
+	return plot.FormatTick(v) + "b"
+}
+
+// fmtDur renders seconds compactly for tables.
+func fmtDur(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.3gs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3gms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3gus", v*1e6)
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the report as a GitHub-flavored-markdown section, for
+// embedding regenerated results directly into documentation
+// (`bcnreport -md`).
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	if r.Description != "" {
+		fmt.Fprintf(&b, "%s\n\n", r.Description)
+	}
+	if len(r.Numbers) > 0 {
+		b.WriteString("| metric | value |\n|---|---|\n")
+		for _, m := range r.Numbers {
+			unit := m.Unit
+			if unit != "" {
+				unit = " " + unit
+			}
+			fmt.Fprintf(&b, "| %s | %.6g%s |\n", escapePipes(m.Name), m.Value, unit)
+		}
+		b.WriteString("\n")
+	}
+	for _, tb := range r.Tables {
+		fmt.Fprintf(&b, "**%s**\n\n", escapePipes(tb.Name))
+		b.WriteString("| " + strings.Join(escapeAll(tb.Header), " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(tb.Header)) + "\n")
+		for _, row := range tb.Rows {
+			b.WriteString("| " + strings.Join(escapeAll(row), " | ") + " |\n")
+		}
+		b.WriteString("\n")
+	}
+	for _, nc := range r.Charts {
+		fmt.Fprintf(&b, "![%s](%s_%s.svg)\n", escapePipes(nc.Name), r.ID, nc.Name)
+	}
+	if len(r.Charts) > 0 {
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func escapePipes(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+func escapeAll(v []string) []string {
+	out := make([]string, len(v))
+	for i, s := range v {
+		out[i] = escapePipes(s)
+	}
+	return out
+}

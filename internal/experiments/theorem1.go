@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/linear"
+	"bcnphase/internal/plot"
+)
+
+// Theorem1Example reproduces the worked example of the paper's §IV
+// remarks: at N=50 flows on a 10 Gbps link with q0 = 2.5 Mbit and the
+// standard-draft gains, strong stability needs ≈13.75 Mbit of buffer —
+// nearly 3× the 5 Mbit bandwidth-delay product — and the linear criterion
+// of [4] sees nothing wrong with the smaller buffer. Sweeps over N and Gi
+// show how the required buffer scales (∝ sqrt(N), ∝ sqrt(Gi)).
+func Theorem1Example() (*Report, error) {
+	p := core.PaperExample()
+	rep := &Report{
+		ID:    "theorem1",
+		Title: "Theorem 1 worked example and buffer-sizing sweeps",
+		Description: "Sufficient condition (1 + sqrt(Ru·Gi·N/(Gd·C)))·q0 < B; " +
+			"the bandwidth-delay-product rule undersizes the buffer by ~3x.",
+	}
+
+	bound := core.Theorem1Bound(p)
+	const bdp = 5e6 // the paper's quoted bandwidth-delay product
+	rep.AddNumber("required buffer (Theorem 1)", bound, "bits")
+	rep.AddNumber("paper quoted value", 13.75e6, "bits")
+	rep.AddNumber("bandwidth-delay product", bdp, "bits")
+	rep.AddNumber("required / BDP ratio", bound/bdp, "")
+
+	// Verdict table: BDP buffer vs Theorem-1 buffer, all three criteria.
+	table := Table{
+		Name:   "criteria comparison",
+		Header: []string{"buffer", "linear [4]", "Theorem 1", "trajectory outcome", "strongly stable"},
+	}
+	for _, b := range []float64{bdp, bound * 1.02} {
+		q := p
+		q.B = b
+		v, err := linear.Compare(q)
+		if err != nil {
+			return nil, fmt.Errorf("theorem1: %w", err)
+		}
+		table.Rows = append(table.Rows, []string{
+			fmtBits(b),
+			fmt.Sprintf("%v", v.LinearStable),
+			fmt.Sprintf("%v", v.Theorem1OK),
+			v.Outcome.String(),
+			fmt.Sprintf("%v", v.TrajectoryStable),
+		})
+		if b == bdp && !v.Disagreement {
+			rep.Notes = append(rep.Notes, "UNEXPECTED: expected the linear/strong disagreement at the BDP buffer")
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+
+	// Sweep: required buffer vs flow count N (∝ sqrt(N) + q0).
+	var ns, bn []float64
+	for n := 1; n <= 200; n += 2 {
+		q := p
+		q.N = n
+		ns = append(ns, float64(n))
+		bn = append(bn, core.Theorem1Bound(q))
+	}
+	nChart := plot.NewChart("Required buffer vs flow count", "N (flows)", "required B (bits)")
+	nChart.Add(plot.Series{Name: "Theorem 1 bound", X: ns, Y: bn})
+	nChart.AddHLine(bdp, "BDP rule", "#cc0000")
+
+	// Sweep: required buffer vs Gi.
+	var gis, bg []float64
+	for gi := 0.25; gi <= 16; gi *= math.Sqrt2 {
+		q := p
+		q.Gi = gi
+		gis = append(gis, gi)
+		bg = append(bg, core.Theorem1Bound(q))
+	}
+	gChart := plot.NewChart("Required buffer vs increase gain", "Gi", "required B (bits)")
+	gChart.Add(plot.Series{Name: "Theorem 1 bound", X: gis, Y: bg, Points: true})
+
+	// Tightness: the actual stitched peak against the bound at the
+	// example parameters (with ample buffer so nothing clips).
+	q := p
+	q.B = bound * 1.05
+	tr, err := core.Solve(q, core.SolveOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("theorem1: %w", err)
+	}
+	rep.AddNumber("actual peak queue (stitched)", tr.MaxQueue(), "bits")
+	rep.AddNumber("bound tightness (peak/bound)", tr.MaxQueue()/bound, "")
+	if tr.MaxQueue() > bound {
+		rep.Notes = append(rep.Notes, "UNEXPECTED: trajectory peak exceeds the Theorem 1 bound")
+	}
+
+	rep.Charts = []NamedChart{
+		{Name: "buffer_vs_n", Chart: nChart},
+		{Name: "buffer_vs_gi", Chart: gChart},
+	}
+	rep.Series = append(rep.Series,
+		NamedSeries{Name: "buffer_vs_n", T: ns, V: bn},
+		NamedSeries{Name: "buffer_vs_gi", T: gis, V: bg},
+	)
+	rep.Notes = append(rep.Notes,
+		"max q(t) grows with sqrt(N/C), so the bandwidth-delay-product sizing rule is "+
+			"unsustainable for lossless Ethernet (paper §IV remarks)")
+	return rep, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/plot"
+)
+
+// TransientSweep verifies the paper's remark on Theorem 1: the control
+// parameters w and pm do not appear in the stability criterion — they
+// shape only the transients (convergence speed, proximity to the
+// limit-cycle regime). The sweep varies w and pm at fixed gains and
+// records the Theorem 1 bound (must stay constant), the strong-stability
+// verdict (must stay stable), and the per-round contraction ratio ρ
+// (must improve with w).
+func TransientSweep() (*Report, error) {
+	base := core.FigureExample()
+	rep := &Report{
+		ID:    "transient",
+		Title: "w and pm shape transients, not stability (Theorem 1 remark)",
+		Description: "Sweeping the σ-weight w and sampling probability pm: the Theorem 1 " +
+			"bound and the stability verdict are invariant; the contraction ratio ρ is not.",
+	}
+
+	ws := []float64{0.25, 0.5, 1, 2, 4, 8, 16}
+	var wx, wRho, wHalf []float64
+	table := Table{Name: "w sweep (pm = 1)", Header: []string{"w", "rho", "rounds to halve", "bound", "outcome"}}
+	boundRef := core.Theorem1Bound(base)
+	for _, w := range ws {
+		p := base
+		p.W = w
+		tr, err := core.Solve(p, core.SolveOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("transient w=%v: %w", w, err)
+		}
+		bound := core.Theorem1Bound(p)
+		half := math.Inf(1)
+		if tr.Rho > 0 && tr.Rho < 1 {
+			half = math.Log(0.5) / math.Log(tr.Rho)
+		}
+		wx = append(wx, w)
+		wRho = append(wRho, tr.Rho)
+		wHalf = append(wHalf, half)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%.3g", w), fmt.Sprintf("%.6f", tr.Rho),
+			fmt.Sprintf("%.4g", half), fmtBits(bound), tr.Outcome.String(),
+		})
+		if bound != boundRef {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("UNEXPECTED: Theorem 1 bound changed with w=%v", w))
+		}
+		if !tr.Outcome.StronglyStable() {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("UNEXPECTED: instability at w=%v", w))
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+
+	pms := []float64{0.05, 0.1, 0.2, 0.5, 1}
+	tablePm := Table{Name: "pm sweep (w = 2)", Header: []string{"pm", "rho", "bound", "outcome"}}
+	var px, pRho []float64
+	for _, pm := range pms {
+		p := base
+		p.Pm = pm
+		tr, err := core.Solve(p, core.SolveOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("transient pm=%v: %w", pm, err)
+		}
+		px = append(px, pm)
+		pRho = append(pRho, tr.Rho)
+		tablePm.Rows = append(tablePm.Rows, []string{
+			fmt.Sprintf("%.3g", pm), fmt.Sprintf("%.6f", tr.Rho),
+			fmtBits(core.Theorem1Bound(p)), tr.Outcome.String(),
+		})
+		if core.Theorem1Bound(p) != boundRef {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("UNEXPECTED: Theorem 1 bound changed with pm=%v", pm))
+		}
+	}
+	rep.Tables = append(rep.Tables, tablePm)
+
+	rhoChart := plot.NewChart("Contraction ratio vs w (pm = 1)", "w", "rho per round")
+	rhoChart.Add(plot.Series{Name: "rho", X: wx, Y: wRho, Points: true})
+	rhoChart.AddHLine(1, "limit cycle", "#cc0000")
+	halfChart := plot.NewChart("Rounds to halve amplitude vs w", "w", "rounds")
+	halfChart.Add(plot.Series{Name: "rounds to halve", X: wx, Y: wHalf, Points: true})
+	pmChart := plot.NewChart("Contraction ratio vs pm (w = 2)", "pm", "rho per round")
+	pmChart.Add(plot.Series{Name: "rho", X: px, Y: pRho, Points: true})
+
+	rep.Charts = []NamedChart{
+		{Name: "rho_vs_w", Chart: rhoChart},
+		{Name: "halving_vs_w", Chart: halfChart},
+		{Name: "rho_vs_pm", Chart: pmChart},
+	}
+	rep.Series = append(rep.Series,
+		NamedSeries{Name: "rho_vs_w", T: wx, V: wRho},
+		NamedSeries{Name: "rho_vs_pm", T: px, V: pRho},
+	)
+	rep.AddNumber("Theorem 1 bound (invariant)", boundRef, "bits")
+	rep.AddNumber("rho at w=0.25", wRho[0], "")
+	rep.AddNumber("rho at w=16", wRho[len(wRho)-1], "")
+	rep.Notes = append(rep.Notes,
+		"larger w (steeper switching line k = w/(pm·C)) strengthens per-round damping, pulling the "+
+			"system away from the quasi-limit-cycle regime without changing the stability verdict")
+	return rep, nil
+}

@@ -1,0 +1,95 @@
+package linear
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bcnphase/internal/core"
+)
+
+func TestRouthHurwitz2(t *testing.T) {
+	cases := []struct {
+		m, n float64
+		want bool
+	}{
+		{1, 1, true},
+		{0.001, 1e9, true},
+		{0, 1, false},
+		{1, 0, false},
+		{-1, 1, false},
+		{1, -1, false},
+	}
+	for _, c := range cases {
+		if got := RouthHurwitz2(c.m, c.n); got != c.want {
+			t.Errorf("RouthHurwitz2(%v, %v) = %v, want %v", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSubsystemStableAlwaysForValidParams(t *testing.T) {
+	p := core.PaperExample()
+	if !SubsystemStable(p, core.Increase) || !SubsystemStable(p, core.Decrease) {
+		t.Error("valid params must yield Hurwitz subsystems (Proposition 1)")
+	}
+}
+
+// TestComparePaperExample demonstrates the paper's headline disagreement:
+// the linear criterion declares the BDP-buffered example stable while the
+// trajectory overflows.
+func TestComparePaperExample(t *testing.T) {
+	v, err := Compare(core.PaperExample())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !v.LinearStable {
+		t.Error("baseline should declare stability")
+	}
+	if v.Theorem1OK {
+		t.Error("Theorem 1 should fail at BDP buffer")
+	}
+	if v.TrajectoryStable {
+		t.Error("trajectory should overflow")
+	}
+	if v.Outcome != core.OutcomeOverflow {
+		t.Errorf("Outcome = %v, want overflow", v.Outcome)
+	}
+	if !v.Disagreement {
+		t.Error("expected the linear/strong-stability disagreement")
+	}
+}
+
+func TestCompareAmpleBuffer(t *testing.T) {
+	p := core.PaperExample()
+	p.B = core.Theorem1Bound(p) * 1.05
+	v, err := Compare(p)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !v.LinearStable || !v.Theorem1OK || !v.TrajectoryStable {
+		t.Errorf("all criteria should pass: %+v", v)
+	}
+	if v.Disagreement {
+		t.Error("no disagreement expected")
+	}
+}
+
+func TestCompareInvalidParams(t *testing.T) {
+	if _, err := Compare(core.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestQuickLinearAlwaysStable: for random valid parameters the baseline
+// criterion is always "stable" — the content of Proposition 1.
+func TestQuickLinearAlwaysStable(t *testing.T) {
+	prop := func(giRaw, gdRaw, nRaw uint8) bool {
+		p := core.PaperExample()
+		p.Gi = 0.25 + float64(giRaw)/8
+		p.Gd = 1.0 / (1 + float64(gdRaw))
+		p.N = 1 + int(nRaw)
+		return SubsystemStable(p, core.Increase) && SubsystemStable(p, core.Decrease)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

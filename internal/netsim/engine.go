@@ -1,0 +1,140 @@
+// Package netsim is a deterministic discrete-event simulator for the
+// single-bottleneck Data Center Ethernet scenario the paper models:
+// N homogeneous sources behind edge switches share one core-switch output
+// queue with finite buffer, BCN congestion control (internal/bcn) and
+// optional 802.3x PAUSE. It is the packet-level substrate used to validate
+// the fluid model — the paper's own experiments ran on testbeds and
+// simulators we do not have, so this package is the substituted
+// equivalent.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Nanos is a simulation timestamp in integer nanoseconds.
+type Nanos int64
+
+// Seconds converts a timestamp to float seconds.
+func (n Nanos) Seconds() float64 { return float64(n) / 1e9 }
+
+// FromSeconds converts float seconds to a timestamp, rounding to the
+// nearest nanosecond.
+func FromSeconds(s float64) Nanos { return Nanos(math.Round(s * 1e9)) }
+
+// ErrNegativeDelay is returned when scheduling into the past.
+var ErrNegativeDelay = errors.New("netsim: negative delay")
+
+type event struct {
+	at  Nanos
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		panic("netsim: push of non-event") // unreachable by construction
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a single-threaded discrete-event engine. Events scheduled for the
+// same instant run in scheduling order (FIFO tie-break), which keeps runs
+// deterministic.
+type Sim struct {
+	now       Nanos
+	seq       uint64
+	events    eventHeap
+	processed uint64
+}
+
+// NewSim returns an engine at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Nanos { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn at absolute time t (>= Now).
+func (s *Sim) At(t Nanos, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("%w: t=%d < now=%d", ErrNegativeDelay, t, s.now)
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn a delay d from now.
+func (s *Sim) After(d Nanos, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("%w: d=%d", ErrNegativeDelay, d)
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Run executes events in order until the queue is empty or the next event
+// is after `until`; the clock finishes at min(until, last event time)
+// advanced to `until`.
+func (s *Sim) Run(until Nanos) {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > until {
+			break
+		}
+		popped, ok := heap.Pop(&s.events).(event)
+		if !ok {
+			panic("netsim: heap corrupted") // unreachable
+		}
+		s.now = popped.at
+		s.processed++
+		popped.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Step executes exactly one event if any is pending, returning whether an
+// event ran.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	popped, ok := heap.Pop(&s.events).(event)
+	if !ok {
+		panic("netsim: heap corrupted") // unreachable
+	}
+	s.now = popped.at
+	s.processed++
+	popped.fn()
+	return true
+}

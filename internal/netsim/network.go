@@ -1,0 +1,795 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"bcnphase/internal/bcn"
+	"bcnphase/internal/fera"
+	"bcnphase/internal/qcn"
+	"bcnphase/internal/stats"
+)
+
+// Scheme selects the congestion-control algorithm.
+type Scheme int
+
+// Available schemes — the four 802.1Qau proposals the paper surveys.
+const (
+	// SchemeBCN is the BCN/ECM mechanism of the paper (default).
+	SchemeBCN Scheme = iota
+	// SchemeQCN is the quantized-feedback successor (internal/qcn).
+	SchemeQCN
+	// SchemeFERA is explicit rate advertising (internal/fera).
+	SchemeFERA
+	// SchemeE2CM is the BCN+FERA hybrid (internal/fera).
+	SchemeE2CM
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBCN:
+		return "bcn"
+	case SchemeQCN:
+		return "qcn"
+	case SchemeFERA:
+		return "fera"
+	case SchemeE2CM:
+		return "e2cm"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// CongestionController is the switch-side congestion-point hook; both
+// bcn.CongestionPoint and qcn.CongestionPoint satisfy it.
+type CongestionController interface {
+	OnArrival(a bcn.Arrival) *bcn.Message
+	OnDeparture(sizeBits float64)
+	QueueBits() float64
+	Stats() (samples, pos, neg uint64)
+	Severe() bool
+}
+
+// RateController is the source-side regulator hook; both
+// bcn.ReactionPoint and qcn.RateRegulator satisfy it.
+type RateController interface {
+	Rate(now float64) float64
+	OnMessage(m *bcn.Message, now float64)
+	Tag() bcn.CPID
+}
+
+// SendObserver is optionally implemented by rate controllers whose state
+// machine advances with transmitted bytes (QCN's byte counter).
+type SendObserver interface {
+	OnSend(sizeBits float64)
+}
+
+var (
+	_ CongestionController = (*bcn.CongestionPoint)(nil)
+	_ RateController       = (*bcn.ReactionPoint)(nil)
+	_ SendObserver         = (*qcn.RateRegulator)(nil)
+	_ RateController       = (*qcn.RateRegulator)(nil)
+	_ CongestionController = (*qcn.CongestionPoint)(nil)
+	_ CongestionController = (*fera.CongestionPoint)(nil)
+	_ RateController       = (*fera.RateRegulator)(nil)
+	_ CongestionController = (*fera.E2CMCongestionPoint)(nil)
+	_ RateController       = (*fera.E2CMRegulator)(nil)
+)
+
+// Config describes the dumbbell scenario: N homogeneous sources sending
+// fixed-size frames through one bottleneck queue.
+type Config struct {
+	// N is the number of sources.
+	N int
+	// Capacity is the bottleneck service rate in bits/s.
+	Capacity float64
+	// LineRate caps each source's sending rate in bits/s.
+	LineRate float64
+	// FrameBits is the fixed data-frame size in bits (e.g. 12000 for
+	// 1500-byte frames).
+	FrameBits float64
+	// BufferBits is the bottleneck buffer size B.
+	BufferBits float64
+	// PropDelay is the one-way propagation delay on every link.
+	PropDelay Nanos
+	// InitialRate is each source's starting rate in bits/s.
+	InitialRate float64
+
+	// BCN enables the congestion-control loop. When false the scenario
+	// degenerates to the PAUSE-only (or uncontrolled) baseline.
+	BCN bool
+	// Scheme selects the congestion-control scheme when BCN is true:
+	// SchemeBCN (default) or SchemeQCN.
+	Scheme Scheme
+	// Q0, Qsc, W, Pm configure the congestion point (paper notation).
+	Q0, Qsc, W, Pm float64
+	// Ru, Gi, Gd configure the reaction points.
+	Ru, Gi, Gd float64
+	// Mode selects the reaction-point gain law (default bcn.ModeFluid).
+	Mode bcn.GainMode
+	// MinRate floors source rates (default Capacity/(1000·N)).
+	MinRate float64
+
+	// Pause enables 802.3x PAUSE flow control with XOFF/XON
+	// watermarks: XOFF (pause) is asserted when the queue exceeds Qsc
+	// and XON (resume) is sent when it drains below PauseLowBits.
+	Pause bool
+	// PauseDuration is the pause quanta: a paused source resumes on its
+	// own after this long even if no XON arrives (as 802.3x quanta
+	// expire). XOFF is refreshed while the queue stays above Qsc.
+	PauseDuration Nanos
+	// PauseLowBits is the XON watermark (default 0.8·Qsc).
+	PauseLowBits float64
+
+	// StartTimes optionally staggers source start instants; when set it
+	// must have length N. Sources with no entry (nil slice) start at 0.
+	StartTimes []Nanos
+	// InitialRates optionally overrides InitialRate per source; when
+	// set it must have length N.
+	InitialRates []float64
+
+	// Trace, when non-nil, receives one line per simulator event
+	// (send/arrive/depart/drop/msg/pause) in an ns-2-like compact
+	// format, for debugging and external analysis.
+	Trace io.Writer
+
+	// SampleEvery sets the recorder period (default: 1000 samples over
+	// the run, set by Run).
+	SampleEvery Nanos
+	// Seed randomizes source start offsets within one frame time to
+	// break phase lock; 0 keeps all sources synchronized.
+	Seed int64
+	// PreAssociate tags every source with the congestion point from
+	// t = 0 so positive feedback flows immediately (the fluid model's
+	// continuous-feedback assumption); without it sources only begin
+	// receiving positive BCN messages after their first negative one.
+	PreAssociate bool
+}
+
+// Validate checks the scenario.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("netsim: N=%d must be positive", c.N)
+	case !(c.Capacity > 0):
+		return fmt.Errorf("netsim: Capacity=%v must be positive", c.Capacity)
+	case !(c.LineRate > 0):
+		return fmt.Errorf("netsim: LineRate=%v must be positive", c.LineRate)
+	case !(c.FrameBits > 0):
+		return fmt.Errorf("netsim: FrameBits=%v must be positive", c.FrameBits)
+	case !(c.BufferBits > 0):
+		return fmt.Errorf("netsim: BufferBits=%v must be positive", c.BufferBits)
+	case c.PropDelay < 0:
+		return fmt.Errorf("netsim: PropDelay=%d must be non-negative", c.PropDelay)
+	case !(c.InitialRate > 0):
+		return fmt.Errorf("netsim: InitialRate=%v must be positive", c.InitialRate)
+	}
+	if c.BCN {
+		if !(c.Q0 > 0) || c.Q0 >= c.BufferBits {
+			return fmt.Errorf("netsim: Q0=%v must be in (0, B)", c.Q0)
+		}
+		if !(c.W > 0) || !(c.Pm > 0) || c.Pm > 1 {
+			return fmt.Errorf("netsim: W=%v, Pm=%v invalid", c.W, c.Pm)
+		}
+		if c.Scheme == SchemeBCN && (!(c.Ru > 0) || !(c.Gi > 0) || !(c.Gd > 0)) {
+			return fmt.Errorf("netsim: gains Ru=%v Gi=%v Gd=%v must be positive", c.Ru, c.Gi, c.Gd)
+		}
+		if c.Scheme == SchemeE2CM && !(c.Gd > 0) {
+			return fmt.Errorf("netsim: E2CM needs a positive Gd, got %v", c.Gd)
+		}
+	}
+	if c.Pause {
+		if !(c.Qsc > 0) || c.Qsc > c.BufferBits {
+			return fmt.Errorf("netsim: Pause needs Qsc in (0, B], got %v", c.Qsc)
+		}
+		if c.PauseDuration <= 0 {
+			return fmt.Errorf("netsim: PauseDuration=%d must be positive", c.PauseDuration)
+		}
+	}
+	if c.StartTimes != nil && len(c.StartTimes) != c.N {
+		return fmt.Errorf("netsim: StartTimes has %d entries, want N=%d", len(c.StartTimes), c.N)
+	}
+	if c.InitialRates != nil && len(c.InitialRates) != c.N {
+		return fmt.Errorf("netsim: InitialRates has %d entries, want N=%d", len(c.InitialRates), c.N)
+	}
+	for i, r := range c.InitialRates {
+		if !(r > 0) {
+			return fmt.Errorf("netsim: InitialRates[%d]=%v must be positive", i, r)
+		}
+	}
+	for i, st := range c.StartTimes {
+		if st < 0 {
+			return fmt.Errorf("netsim: StartTimes[%d]=%d must be non-negative", i, st)
+		}
+	}
+	return nil
+}
+
+// frame is one data frame in flight or queued.
+type frame struct {
+	bits float64
+	src  int // source index
+	dst  int // destination class (used by the multihop topology)
+	rrt  bcn.CPID
+	enq  Nanos // bottleneck enqueue time, for sojourn statistics
+}
+
+// Source is one sending host with a BCN reaction point.
+type Source struct {
+	id      int
+	mac     bcn.MAC
+	rp      RateController
+	sendObs SendObserver // rp's byte-counter hook, when it has one
+	fixed   float64      // fixed rate when rp == nil (no control)
+
+	// paused is the 802.3x state; waiting marks a send loop that
+	// stopped while paused and must be rearmed on resume; pauseExpire
+	// is the current quanta deadline.
+	paused      bool
+	waiting     bool
+	pauseExpire Nanos
+
+	sentFrames uint64
+	sentBits   float64
+}
+
+// RateAt returns the source's sending rate in bits/s at time now
+// (seconds).
+func (s *Source) RateAt(now float64) float64 {
+	if s.rp == nil {
+		return s.fixed
+	}
+	return s.rp.Rate(now)
+}
+
+// Network is an instantiated scenario.
+type Network struct {
+	cfg Config
+	sim *Sim
+
+	sources []*Source
+	cp      CongestionController // nil when the control loop is disabled
+
+	queue     []frame
+	queueBits float64
+	busy      bool
+
+	pauseAsserted bool
+
+	deliveredBits   float64
+	deliveredFrames uint64
+	droppedFrames   uint64
+	droppedBits     float64
+	pausesSent      uint64
+	maxQueueBits    float64
+	// minQueueAfterPeak tracks the deepest trough after the queue first
+	// reaches Q0 (link-idle detection).
+	everAboveQ0 bool
+	minAfterQ0  float64
+
+	macToSource map[bcn.MAC]int
+
+	recQ, recRate []float64
+	recT          []float64
+	sojourns      []float64
+}
+
+// New builds the scenario.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = bcn.ModeFluid
+	}
+	if cfg.MinRate == 0 {
+		cfg.MinRate = cfg.Capacity / (1000 * float64(cfg.N))
+	}
+	n := &Network{
+		cfg:         cfg,
+		sim:         NewSim(),
+		macToSource: make(map[bcn.MAC]int, cfg.N),
+		minAfterQ0:  cfg.BufferBits,
+	}
+	var fbScale float64
+	if cfg.BCN {
+		switch cfg.Scheme {
+		case SchemeBCN:
+			cp, err := bcn.NewCongestionPoint(bcn.CPConfig{
+				CPID: 1,
+				SA:   bcn.MAC{0x02, 0xC0, 0, 0, 0, 1},
+				Q0:   cfg.Q0,
+				Qsc:  cfg.Qsc,
+				W:    cfg.W,
+				Pm:   cfg.Pm,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			n.cp = cp
+		case SchemeQCN:
+			cp, err := qcn.NewCongestionPoint(qcn.CPConfig{
+				CPID: 1,
+				SA:   bcn.MAC{0x02, 0xC0, 0, 0, 0, 1},
+				Qeq:  cfg.Q0,
+				W:    cfg.W,
+				Pm:   cfg.Pm,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			n.cp = cp
+			fbScale = cp.Scale()
+		case SchemeFERA:
+			cp, err := fera.NewCongestionPoint(fera.CPConfig{
+				CPID:     1,
+				SA:       bcn.MAC{0x02, 0xC0, 0, 0, 0, 1},
+				Capacity: cfg.Capacity,
+				Pm:       cfg.Pm,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			n.cp = cp
+		case SchemeE2CM:
+			cp, err := fera.NewE2CMCongestionPoint(bcn.CPConfig{
+				CPID: 1,
+				SA:   bcn.MAC{0x02, 0xC0, 0, 0, 0, 1},
+				Q0:   cfg.Q0,
+				Qsc:  cfg.Qsc,
+				W:    cfg.W,
+				Pm:   cfg.Pm,
+			}, cfg.Capacity)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			n.cp = cp
+		default:
+			return nil, fmt.Errorf("netsim: unknown scheme %v", cfg.Scheme)
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		src := &Source{
+			id:  i,
+			mac: bcn.MAC{0x02, 0, 0, 0, byte(i >> 8), byte(i)},
+		}
+		rate := cfg.InitialRate
+		if cfg.InitialRates != nil {
+			rate = cfg.InitialRates[i]
+		}
+		switch {
+		case cfg.BCN && cfg.Scheme == SchemeQCN:
+			rp, err := qcn.NewRateRegulator(
+				qcn.DefaultRPConfig(cfg.MinRate, cfg.LineRate, fbScale),
+				clampRate(rate, cfg.MinRate, cfg.LineRate))
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			src.rp = rp
+			src.sendObs = rp
+		case cfg.BCN && cfg.Scheme == SchemeFERA:
+			rp, err := fera.NewRateRegulator(cfg.MinRate, cfg.LineRate,
+				clampRate(rate, cfg.MinRate, cfg.LineRate))
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			src.rp = rp
+		case cfg.BCN && cfg.Scheme == SchemeE2CM:
+			rp, err := fera.NewE2CMRegulator(cfg.Gd, cfg.MinRate, cfg.LineRate,
+				clampRate(rate, cfg.MinRate, cfg.LineRate))
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			src.rp = rp
+		case cfg.BCN:
+			rp, err := bcn.NewReactionPoint(bcn.RPConfig{
+				Ru: cfg.Ru, Gi: cfg.Gi, Gd: cfg.Gd,
+				MinRate: cfg.MinRate, MaxRate: cfg.LineRate,
+				Mode: cfg.Mode,
+			}, clampRate(rate, cfg.MinRate, cfg.LineRate))
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			if cfg.PreAssociate {
+				rp.Associate(1)
+			}
+			src.rp = rp
+		default:
+			src.fixed = rate
+		}
+		n.sources = append(n.sources, src)
+		n.macToSource[src.mac] = i
+	}
+	return n, nil
+}
+
+func clampRate(r, lo, hi float64) float64 {
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Queue is the sampled queue occupancy (bits vs seconds).
+	Queue stats.Series
+	// AggRate is the sampled aggregate source rate (bits/s).
+	AggRate stats.Series
+	// MaxQueueBits is the largest instantaneous occupancy seen.
+	MaxQueueBits float64
+	// MinQueueAfterFill is the smallest occupancy seen after the queue
+	// first reached Q0 (link-starvation indicator); equals BufferBits
+	// when the queue never reached Q0.
+	MinQueueAfterFill float64
+	// DroppedFrames and DroppedBits count buffer overflows.
+	DroppedFrames uint64
+	DroppedBits   float64
+	// DeliveredBits counts bits through the bottleneck.
+	DeliveredBits float64
+	// Throughput is DeliveredBits / duration.
+	Throughput float64
+	// Utilization is Throughput / Capacity.
+	Utilization float64
+	// PausesSent counts PAUSE assertions.
+	PausesSent uint64
+	// Events is the number of simulator events processed.
+	Events uint64
+	// CPSamples, PosMessages, NegMessages are congestion point counters
+	// (zero when BCN is off).
+	CPSamples, PosMessages, NegMessages uint64
+	// MeanSojourn and P99Sojourn summarize per-frame bottleneck
+	// queueing+transmission delay in seconds.
+	MeanSojourn, P99Sojourn float64
+	// PerSourceSentBits is each source's offered load over the run.
+	PerSourceSentBits []float64
+	// JainIndex is Jain's fairness index over per-source sent bits:
+	// (Σx)²/(n·Σx²); 1 is perfectly fair.
+	JainIndex float64
+}
+
+// sojournStats returns the mean and 99th-percentile of the sojourn
+// samples (0, 0 for an empty run). The input slice is sorted in place.
+func sojournStats(v []float64) (mean, p99 float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	mean = sum / float64(len(v))
+	sort.Float64s(v)
+	idx := int(math.Ceil(0.99*float64(len(v)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return mean, v[idx]
+}
+
+// jainIndex computes Jain's fairness index of the given allocations.
+func jainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1 // everyone got exactly zero: degenerate but equal
+	}
+	return sum * sum / (float64(len(x)) * sumSq)
+}
+
+// Run executes the scenario for the given duration (seconds) and returns
+// the collected result. Run may be called once per Network.
+func (n *Network) Run(duration float64) (*Result, error) {
+	if duration <= 0 {
+		return nil, errors.New("netsim: duration must be positive")
+	}
+	until := FromSeconds(duration)
+	sampleEvery := n.cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = until / 1000
+		if sampleEvery <= 0 {
+			sampleEvery = 1
+		}
+	}
+
+	rng := rand.New(rand.NewSource(n.cfg.Seed))
+	frameTime := FromSeconds(n.cfg.FrameBits / n.cfg.Capacity)
+	for i, src := range n.sources {
+		offset := Nanos(0)
+		if n.cfg.StartTimes != nil {
+			offset = n.cfg.StartTimes[i]
+		}
+		if n.cfg.Seed != 0 {
+			offset += Nanos(rng.Int63n(int64(frameTime) + 1))
+		}
+		s := src
+		if err := n.sim.At(offset, func() { n.sourceSend(s) }); err != nil {
+			return nil, err
+		}
+	}
+	// Recorder.
+	var rec func()
+	rec = func() {
+		n.recT = append(n.recT, n.sim.Now().Seconds())
+		n.recQ = append(n.recQ, n.queueBits)
+		agg := 0.0
+		nowSec := n.sim.Now().Seconds()
+		for _, s := range n.sources {
+			agg += s.RateAt(nowSec)
+		}
+		n.recRate = append(n.recRate, agg)
+		_ = n.sim.After(sampleEvery, rec)
+	}
+	if err := n.sim.At(0, rec); err != nil {
+		return nil, err
+	}
+
+	n.sim.Run(until)
+
+	qs, err := stats.NewSeries(n.recT, n.recQ)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: queue series: %w", err)
+	}
+	rs, err := stats.NewSeries(n.recT, n.recRate)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: rate series: %w", err)
+	}
+	perSource := make([]float64, len(n.sources))
+	for i, src := range n.sources {
+		perSource[i] = src.sentBits
+	}
+	res := &Result{
+		Queue:             qs,
+		AggRate:           rs,
+		MaxQueueBits:      n.maxQueueBits,
+		MinQueueAfterFill: n.minAfterQ0,
+		DroppedFrames:     n.droppedFrames,
+		DroppedBits:       n.droppedBits,
+		DeliveredBits:     n.deliveredBits,
+		Throughput:        n.deliveredBits / duration,
+		Utilization:       n.deliveredBits / duration / n.cfg.Capacity,
+		PausesSent:        n.pausesSent,
+		Events:            n.sim.Processed(),
+		PerSourceSentBits: perSource,
+		JainIndex:         jainIndex(perSource),
+	}
+	res.MeanSojourn, res.P99Sojourn = sojournStats(n.sojourns)
+	if n.cp != nil {
+		res.CPSamples, res.PosMessages, res.NegMessages = n.cp.Stats()
+	}
+	return res, nil
+}
+
+// trace emits one event line when tracing is enabled.
+func (n *Network) trace(format string, args ...any) {
+	if n.cfg.Trace == nil {
+		return
+	}
+	fmt.Fprintf(n.cfg.Trace, "%.9f "+format+"\n",
+		append([]any{n.sim.Now().Seconds()}, args...)...)
+}
+
+// sourceSend emits one frame from src and reschedules itself.
+func (n *Network) sourceSend(src *Source) {
+	if src.paused {
+		// Silenced by PAUSE: the resume path rearms the loop.
+		src.waiting = true
+		return
+	}
+	f := frame{bits: n.cfg.FrameBits, src: src.id}
+	if src.rp != nil {
+		f.rrt = src.rp.Tag()
+	}
+	src.sentFrames++
+	src.sentBits += f.bits
+	n.trace("+ src=%d bits=%.0f", src.id, f.bits)
+	if src.sendObs != nil {
+		src.sendObs.OnSend(f.bits)
+	}
+	// Frame reaches the bottleneck after the propagation delay.
+	_ = n.sim.After(n.cfg.PropDelay, func() { n.switchArrive(f) })
+	// Next departure paced by the current rate.
+	gap := FromSeconds(n.cfg.FrameBits / src.RateAt(n.sim.Now().Seconds()))
+	if gap < 1 {
+		gap = 1
+	}
+	_ = n.sim.After(gap, func() { n.sourceSend(src) })
+}
+
+// switchArrive handles a frame arriving at the bottleneck queue.
+func (n *Network) switchArrive(f frame) {
+	if n.queueBits+f.bits > n.cfg.BufferBits {
+		n.droppedFrames++
+		n.droppedBits += f.bits
+		n.trace("d src=%d bits=%.0f q=%.0f", f.src, f.bits, n.queueBits)
+		return
+	}
+	f.enq = n.sim.Now()
+	n.queue = append(n.queue, f)
+	n.queueBits += f.bits
+	if n.queueBits > n.maxQueueBits {
+		n.maxQueueBits = n.queueBits
+	}
+	if n.cp != nil {
+		src := n.sources[f.src]
+		msg := n.cp.OnArrival(bcn.Arrival{SizeBits: f.bits, Src: src.mac, RRT: f.rrt})
+		if msg != nil {
+			n.deliverBCN(msg)
+		}
+	}
+	n.trackTrough()
+	if n.cfg.Pause && n.queueBits > n.cfg.Qsc {
+		n.assertPause()
+	}
+	if !n.busy {
+		n.busy = true
+		n.serveNext()
+	}
+}
+
+// serveNext transmits the head-of-line frame.
+func (n *Network) serveNext() {
+	if len(n.queue) == 0 {
+		n.busy = false
+		return
+	}
+	f := n.queue[0]
+	txTime := FromSeconds(f.bits / n.cfg.Capacity)
+	if txTime < 1 {
+		txTime = 1
+	}
+	_ = n.sim.After(txTime, func() {
+		n.queue = n.queue[1:]
+		n.queueBits -= f.bits
+		if n.queueBits < 0 {
+			n.queueBits = 0
+		}
+		if n.cp != nil {
+			n.cp.OnDeparture(f.bits)
+		}
+		n.deliveredBits += f.bits
+		n.deliveredFrames++
+		n.trace("- src=%d bits=%.0f q=%.0f", f.src, f.bits, n.queueBits)
+		n.sojourns = append(n.sojourns, (n.sim.Now() - f.enq).Seconds())
+		n.trackTrough()
+		if n.pauseAsserted && n.queueBits < n.pauseLow() {
+			n.releasePause()
+		}
+		n.serveNext()
+	})
+}
+
+// deliverBCN marshals the message onto the wire and schedules its decoded
+// delivery at the source after the propagation delay, exercising the full
+// encode/decode path including feedback quantization.
+func (n *Network) deliverBCN(msg *bcn.Message) {
+	data, err := msg.MarshalBinary()
+	if err != nil {
+		return // cannot happen with a well-formed message
+	}
+	_ = n.sim.After(n.cfg.PropDelay, func() {
+		var rx bcn.Message
+		if err := rx.UnmarshalBinary(data); err != nil {
+			return
+		}
+		idx, ok := n.macToSource[rx.DA]
+		if !ok {
+			return
+		}
+		src := n.sources[idx]
+		if src.rp != nil {
+			src.rp.OnMessage(&rx, n.sim.Now().Seconds())
+			n.trace("m src=%d sigma=%.0f rate=%.0f", idx, rx.Sigma, src.rp.Rate(n.sim.Now().Seconds()))
+		}
+	})
+}
+
+func (n *Network) pauseLow() float64 {
+	if n.cfg.PauseLowBits > 0 {
+		return n.cfg.PauseLowBits
+	}
+	return 0.8 * n.cfg.Qsc
+}
+
+// assertPause raises the XOFF state and starts the refresh loop: the
+// switch re-sends XOFF every half quanta while the queue stays above the
+// low watermark, as real 802.3x/PFC implementations do, so paused sources
+// do not leak traffic through quanta expiry.
+func (n *Network) assertPause() {
+	if n.pauseAsserted {
+		return
+	}
+	n.pauseAsserted = true
+	n.pausesSent++
+	n.trace("p xoff q=%.0f", n.queueBits)
+	n.xoffRefresh()
+}
+
+// xoffRefresh delivers one XOFF to every source and reschedules itself
+// while the pause state is asserted.
+func (n *Network) xoffRefresh() {
+	if !n.pauseAsserted {
+		return
+	}
+	expire := n.sim.Now() + n.cfg.PropDelay + n.cfg.PauseDuration
+	_ = n.sim.After(n.cfg.PropDelay, func() {
+		for _, src := range n.sources {
+			src.paused = true
+			if expire > src.pauseExpire {
+				src.pauseExpire = expire
+			}
+			s := src
+			_ = n.sim.At(expire, func() { n.pauseQuantaExpire(s) })
+		}
+	})
+	refresh := n.cfg.PauseDuration / 2
+	if refresh < 1 {
+		refresh = 1
+	}
+	_ = n.sim.After(refresh, n.xoffRefresh)
+}
+
+// pauseQuantaExpire resumes a source whose pause quanta ran out.
+func (n *Network) pauseQuantaExpire(src *Source) {
+	if !src.paused || n.sim.Now() < src.pauseExpire {
+		return // released earlier, or the quanta were refreshed
+	}
+	n.resumeSource(src)
+}
+
+// releasePause sends XON toward every source.
+func (n *Network) releasePause() {
+	n.pauseAsserted = false
+	_ = n.sim.After(n.cfg.PropDelay, func() {
+		for _, src := range n.sources {
+			n.resumeSource(src)
+		}
+	})
+}
+
+func (n *Network) resumeSource(src *Source) {
+	if !src.paused {
+		return
+	}
+	src.paused = false
+	src.pauseExpire = 0
+	if src.waiting {
+		src.waiting = false
+		n.sourceSend(src)
+	}
+}
+
+func (n *Network) trackTrough() {
+	if n.cfg.Q0 <= 0 {
+		return
+	}
+	if !n.everAboveQ0 {
+		if n.queueBits >= n.cfg.Q0 {
+			n.everAboveQ0 = true
+		}
+		return
+	}
+	if n.queueBits < n.minAfterQ0 {
+		n.minAfterQ0 = n.queueBits
+	}
+}
+
+// Sources exposes the sources for inspection in tests and experiments.
+func (n *Network) Sources() []*Source { return n.sources }
+
+// QueueBits returns the current bottleneck occupancy.
+func (n *Network) QueueBits() float64 { return n.queueBits }

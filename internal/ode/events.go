@@ -1,0 +1,148 @@
+package ode
+
+import "math"
+
+// Event describes a scalar crossing condition g(t, y) = 0 to be located
+// during integration.
+type Event struct {
+	// G is the event function; a zero of G along the trajectory is an
+	// event. G must be continuous.
+	G func(t float64, y []float64) float64
+	// Direction restricts which crossings count: +1 only rising
+	// (g goes negative to positive), -1 only falling, 0 both.
+	Direction int
+	// Terminal stops the integration at the crossing when true.
+	Terminal bool
+	// Name is an optional label recorded in the EventHit.
+	Name string
+}
+
+// EventHit records one located event crossing.
+type EventHit struct {
+	// Index is the position of the event in Options.Events.
+	Index int
+	// Name copies Event.Name.
+	Name string
+	// T is the located crossing time.
+	T float64
+	// Y is the interpolated state at the crossing.
+	Y []float64
+}
+
+type eventTracker struct {
+	events []Event
+	lastG  []float64
+}
+
+func newEventTracker(events []Event, t0 float64, y0 []float64) *eventTracker {
+	tr := &eventTracker{events: events, lastG: make([]float64, len(events))}
+	for i, e := range events {
+		tr.lastG[i] = e.G(t0, y0)
+	}
+	return tr
+}
+
+// check scans the accepted step [t0,t1] for crossings. It returns the
+// earliest hit (or nil) and whether integration must stop. The tracker's
+// stored g values advance to t1 (or to the terminal hit time).
+func (tr *eventTracker) check(f Func, t0 float64, y0 []float64, t1 float64, y1 []float64) (*EventHit, bool) {
+	if len(tr.events) == 0 {
+		return nil, false
+	}
+	n := len(y0)
+	d0 := make([]float64, n)
+	d1 := make([]float64, n)
+	f(t0, y0, d0)
+	f(t1, y1, d1)
+	interp := func(t float64, out []float64) {
+		hermite(t0, y0, d0, t1, y1, d1, t, out)
+	}
+
+	bestT := math.Inf(1)
+	bestIdx := -1
+	for i, e := range tr.events {
+		g0 := tr.lastG[i]
+		g1 := e.G(t1, y1)
+		if crossed(g0, g1, e.Direction) {
+			tc := bisectEvent(e, interp, t0, t1, g0, g1, n)
+			if tc < bestT {
+				bestT = tc
+				bestIdx = i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		for i, e := range tr.events {
+			tr.lastG[i] = e.G(t1, y1)
+		}
+		return nil, false
+	}
+	yc := make([]float64, n)
+	interp(bestT, yc)
+	hit := &EventHit{Index: bestIdx, Name: tr.events[bestIdx].Name, T: bestT, Y: yc}
+	if tr.events[bestIdx].Terminal {
+		return hit, true
+	}
+	for i, e := range tr.events {
+		tr.lastG[i] = e.G(t1, y1)
+	}
+	return hit, false
+}
+
+func crossed(g0, g1 float64, dir int) bool {
+	switch {
+	case g0 == 0 && g1 == 0:
+		return false
+	case g0 <= 0 && g1 > 0:
+		return dir >= 0
+	case g0 >= 0 && g1 < 0:
+		return dir <= 0
+	default:
+		return false
+	}
+}
+
+// bisectEvent locates the crossing of e.G to ~1e-13 relative time tolerance
+// using bisection on the interpolated trajectory.
+func bisectEvent(e Event, interp func(float64, []float64), ta, tb, ga, gb float64, n int) float64 {
+	y := make([]float64, n)
+	lo, hi := ta, tb
+	glo := ga
+	for iter := 0; iter < 128; iter++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		interp(mid, y)
+		gm := e.G(mid, y)
+		if gm == 0 {
+			return mid
+		}
+		if (glo < 0) == (gm < 0) {
+			lo = mid
+			glo = gm
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-13*math.Max(1, math.Abs(ta)) {
+			break
+		}
+	}
+	return hi
+}
+
+// hermite evaluates the cubic Hermite interpolant through (t0,y0) with slope
+// d0 and (t1,y1) with slope d1 at time t, writing the state into out.
+func hermite(t0 float64, y0, d0 []float64, t1 float64, y1, d1 []float64, t float64, out []float64) {
+	h := t1 - t0
+	s := (t - t0) / h
+	s2 := s * s
+	s3 := s2 * s
+	h00 := 2*s3 - 3*s2 + 1
+	h10 := s3 - 2*s2 + s
+	h01 := -2*s3 + 3*s2
+	h11 := s3 - s2
+	for i := range out {
+		out[i] = h00*y0[i] + h10*h*d0[i] + h01*y1[i] + h11*h*d1[i]
+	}
+}

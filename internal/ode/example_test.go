@@ -1,0 +1,49 @@
+package ode_test
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/ode"
+)
+
+// ExampleDormandPrince integrates the harmonic oscillator and checks the
+// final state against the closed form.
+func ExampleDormandPrince() {
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	sol, err := ode.DormandPrince(f, 0, []float64{1, 0}, math.Pi, ode.DefaultOptions())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_, y := sol.Last()
+	fmt.Printf("x(pi) = %.6f (exact -1)\n", y[0])
+	// Output:
+	// x(pi) = -1.000000 (exact -1)
+}
+
+// ExampleDormandPrince_events locates the first zero crossing of the
+// solution — the mechanism behind switching-line detection.
+func ExampleDormandPrince_events() {
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	opts := ode.DefaultOptions()
+	opts.Events = []ode.Event{{
+		Name:     "x=0",
+		Terminal: true,
+		G:        func(_ float64, y []float64) float64 { return y[0] },
+	}}
+	sol, err := ode.DormandPrince(f, 0, []float64{1, 0}, 10, opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("crossing at t = %.6f (pi/2 = %.6f)\n", sol.Events[0].T, math.Pi/2)
+	// Output:
+	// crossing at t = 1.570796 (pi/2 = 1.570796)
+}

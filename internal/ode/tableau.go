@@ -1,0 +1,107 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tableau is an embedded explicit Runge-Kutta pair. Stages is the number
+// of stages s; A is the strictly lower-triangular stage matrix, C the
+// nodes, BHigh the higher-order solution weights and BLow the embedded
+// lower-order weights. FSAL marks first-same-as-last pairs (the last
+// stage of an accepted step is the first stage of the next).
+type Tableau struct {
+	Name        string
+	Stages      int
+	Order       int // order of the propagated (higher) solution
+	A           [][]float64
+	C           []float64
+	BHigh, BLow []float64
+	FSAL        bool
+}
+
+// Validate checks structural consistency and the row-sum condition
+// C[i] = Σ_j A[i][j].
+func (tb Tableau) Validate() error {
+	if tb.Stages < 2 {
+		return fmt.Errorf("ode: tableau %q: need at least 2 stages", tb.Name)
+	}
+	if len(tb.A) != tb.Stages || len(tb.C) != tb.Stages ||
+		len(tb.BHigh) != tb.Stages || len(tb.BLow) != tb.Stages {
+		return fmt.Errorf("ode: tableau %q: inconsistent dimensions", tb.Name)
+	}
+	for i, row := range tb.A {
+		if len(row) < i {
+			return fmt.Errorf("ode: tableau %q: stage %d row too short", tb.Name, i)
+		}
+		sum := 0.0
+		for j := 0; j < i; j++ {
+			sum += row[j]
+		}
+		if math.Abs(sum-tb.C[i]) > 1e-12 {
+			return fmt.Errorf("ode: tableau %q: row-sum condition violated at stage %d (%v vs %v)", tb.Name, i, sum, tb.C[i])
+		}
+	}
+	for _, b := range [][]float64{tb.BHigh, tb.BLow} {
+		sum := 0.0
+		for _, v := range b {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			return fmt.Errorf("ode: tableau %q: weights do not sum to 1 (%v)", tb.Name, sum)
+		}
+	}
+	return nil
+}
+
+// DormandPrinceTableau returns the 5(4) pair used by default.
+func DormandPrinceTableau() Tableau {
+	return Tableau{
+		Name:   "dormand-prince 5(4)",
+		Stages: 7,
+		Order:  5,
+		FSAL:   true,
+		C:      []float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1},
+		A: [][]float64{
+			{},
+			{1.0 / 5},
+			{3.0 / 40, 9.0 / 40},
+			{44.0 / 45, -56.0 / 15, 32.0 / 9},
+			{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+			{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+			{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+		},
+		BHigh: []float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0},
+		BLow:  []float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40},
+	}
+}
+
+// BogackiShampineTableau returns the 3(2) pair (MATLAB's ode23): cheaper
+// per step, useful at loose tolerances and for cross-validating the
+// higher-order driver.
+func BogackiShampineTableau() Tableau {
+	return Tableau{
+		Name:   "bogacki-shampine 3(2)",
+		Stages: 4,
+		Order:  3,
+		FSAL:   true,
+		C:      []float64{0, 1.0 / 2, 3.0 / 4, 1},
+		A: [][]float64{
+			{},
+			{1.0 / 2},
+			{0, 3.0 / 4},
+			{2.0 / 9, 1.0 / 3, 4.0 / 9},
+		},
+		BHigh: []float64{2.0 / 9, 1.0 / 3, 4.0 / 9, 0},
+		BLow:  []float64{7.0 / 24, 1.0 / 4, 1.0 / 3, 1.0 / 8},
+	}
+}
+
+// AdaptiveIntegrate integrates with an arbitrary embedded pair, using the
+// same PI step control and event machinery as DormandPrince.
+func AdaptiveIntegrate(tb Tableau, f Func, t0 float64, y0 []float64, t1 float64, opts Options) (*Solution, error) {
+	if err := tb.Validate(); err != nil {
+		return nil, err
+	}
+	return integrate(tb, f, t0, y0, t1, opts)
+}

@@ -1,0 +1,118 @@
+package ode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableausValid(t *testing.T) {
+	for _, tb := range []Tableau{DormandPrinceTableau(), BogackiShampineTableau()} {
+		if err := tb.Validate(); err != nil {
+			t.Errorf("%s: %v", tb.Name, err)
+		}
+	}
+}
+
+func TestTableauValidateRejects(t *testing.T) {
+	bad := DormandPrinceTableau()
+	bad.C[3] += 0.1 // break the row-sum condition
+	if err := bad.Validate(); err == nil {
+		t.Error("row-sum violation accepted")
+	}
+	short := Tableau{Name: "x", Stages: 1}
+	if err := short.Validate(); err == nil {
+		t.Error("single-stage tableau accepted")
+	}
+	dims := BogackiShampineTableau()
+	dims.BHigh = dims.BHigh[:2]
+	if err := dims.Validate(); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	weights := BogackiShampineTableau()
+	weights.BLow[0] += 0.5
+	if err := weights.Validate(); err == nil {
+		t.Error("weight-sum violation accepted")
+	}
+}
+
+func TestBogackiShampineAccuracy(t *testing.T) {
+	sol, err := AdaptiveIntegrate(BogackiShampineTableau(), harmonic, 0, []float64{1, 0}, 10, DefaultOptions())
+	if err != nil {
+		t.Fatalf("AdaptiveIntegrate: %v", err)
+	}
+	_, y := sol.Last()
+	if e := math.Hypot(y[0]-math.Cos(10), y[1]+math.Sin(10)); e > 1e-5 {
+		t.Errorf("final error %g", e)
+	}
+}
+
+func TestBogackiShampineEvents(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Events = []Event{{
+		G:        func(_ float64, y []float64) float64 { return y[0] },
+		Terminal: true,
+	}}
+	sol, err := AdaptiveIntegrate(BogackiShampineTableau(), harmonic, 0, []float64{1, 0}, 10, opts)
+	if err != nil {
+		t.Fatalf("AdaptiveIntegrate: %v", err)
+	}
+	if len(sol.Events) != 1 || math.Abs(sol.Events[0].T-math.Pi/2) > 1e-6 {
+		t.Errorf("events = %+v, want one at pi/2", sol.Events)
+	}
+}
+
+func TestAdaptiveIntegrateRejectsBadTableau(t *testing.T) {
+	bad := DormandPrinceTableau()
+	bad.BHigh[0] += 1
+	if _, err := AdaptiveIntegrate(bad, decay, 0, []float64{1}, 1, Options{}); err == nil {
+		t.Error("invalid tableau accepted")
+	}
+}
+
+// TestQuickPairsAgree: both embedded pairs converge to the same solution
+// of a random linear system within combined tolerance.
+func TestQuickPairsAgree(t *testing.T) {
+	prop := func(aRaw, bRaw int8) bool {
+		a := float64(aRaw) / 32
+		b := float64(bRaw) / 32
+		// y'' + |a| y' + (1+|b|) y = 0: damped oscillator.
+		f := func(_ float64, y, dydt []float64) {
+			dydt[0] = y[1]
+			dydt[1] = -(1+math.Abs(b))*y[0] - math.Abs(a)*y[1]
+		}
+		dp, err := DormandPrince(f, 0, []float64{1, 0}, 5, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		bs, err := AdaptiveIntegrate(BogackiShampineTableau(), f, 0, []float64{1, 0}, 5, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		_, yd := dp.Last()
+		_, yb := bs.Last()
+		return math.Abs(yd[0]-yb[0]) < 1e-5 && math.Abs(yd[1]-yb[1]) < 1e-5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBogackiShampineCheaper: at loose tolerance the 3(2) pair should need
+// no more derivative evaluations per unit accuracy than brute force; here
+// we just sanity-check it takes more steps than DP at equal tolerance
+// (lower order → smaller steps).
+func TestBogackiShampineStepCounts(t *testing.T) {
+	opts := DefaultOptions()
+	dp, err := DormandPrince(harmonic, 0, []float64{1, 0}, 20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := AdaptiveIntegrate(BogackiShampineTableau(), harmonic, 0, []float64{1, 0}, 20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Len() <= dp.Len() {
+		t.Errorf("RK23 mesh (%d) should be denser than RK45 (%d) at tight tolerance", bs.Len(), dp.Len())
+	}
+}

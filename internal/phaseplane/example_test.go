@@ -1,0 +1,56 @@
+package phaseplane_test
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/phaseplane"
+)
+
+// ExampleLinear2_Classify classifies the singular point of a planar
+// linear system from its companion form λ² + mλ + n.
+func ExampleLinear2_Classify() {
+	fmt.Println(phaseplane.Companion(1, 4).Classify())  // m²<4n
+	fmt.Println(phaseplane.Companion(5, 4).Classify())  // m²>4n
+	fmt.Println(phaseplane.Companion(0, -1).Classify()) // det<0
+	// Output:
+	// stable focus
+	// stable node
+	// saddle
+}
+
+// ExampleReturnMap_FixedPoint finds the Van der Pol limit cycle through
+// the Poincaré first-return map on the x-axis.
+func ExampleReturnMap_FixedPoint() {
+	vdp := func(x, y float64) (float64, float64) {
+		return y, (1-x*x)*y - x
+	}
+	m := &phaseplane.ReturnMap{
+		Field:   vdp,
+		Sigma:   func(x, y float64) float64 { return y },
+		Embed:   func(s float64) (float64, float64) { return s, 0 },
+		Project: func(x, y float64) float64 { return x },
+		Horizon: 100,
+	}
+	s, err := m.FixedPoint(0.5, 4, 16)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("limit cycle amplitude: %.2f\n", s)
+	// Output:
+	// limit cycle amplitude: 2.01
+}
+
+// ExampleClassifyAt linearizes a nonlinear field at an equilibrium
+// (Lyapunov's first method, as the paper uses in §IV-A).
+func ExampleClassifyAt() {
+	pendulum := func(x, y float64) (float64, float64) {
+		return y, -math.Sin(x) - 0.5*y
+	}
+	fmt.Println(phaseplane.ClassifyAt(pendulum, 0, 0))
+	fmt.Println(phaseplane.ClassifyAt(pendulum, math.Pi, 0))
+	// Output:
+	// stable focus
+	// saddle
+}

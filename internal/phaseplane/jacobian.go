@@ -1,0 +1,70 @@
+package phaseplane
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoEquilibrium is returned when the Newton search fails to converge.
+var ErrNoEquilibrium = errors.New("phaseplane: equilibrium search did not converge")
+
+// Jacobian estimates the Jacobian of the field at (x, y) by central
+// differences with step h (h <= 0 picks a scale-aware default).
+func Jacobian(f VectorField, x, y, h float64) Linear2 {
+	if h <= 0 {
+		h = 1e-6 * (1 + math.Hypot(x, y))
+	}
+	ux1, vx1 := f(x+h, y)
+	ux0, vx0 := f(x-h, y)
+	uy1, vy1 := f(x, y+h)
+	uy0, vy0 := f(x, y-h)
+	return Linear2{
+		A11: (ux1 - ux0) / (2 * h),
+		A12: (uy1 - uy0) / (2 * h),
+		A21: (vx1 - vx0) / (2 * h),
+		A22: (vy1 - vy0) / (2 * h),
+	}
+}
+
+// ClassifyAt linearizes the field at the given point (assumed to be an
+// equilibrium) and classifies the singular point, following Lyapunov's
+// first method as the paper does in §IV-A.
+func ClassifyAt(f VectorField, x, y float64) SingularKind {
+	return Jacobian(f, x, y, 0).Classify()
+}
+
+// FindEquilibrium runs a damped Newton iteration on the field from the
+// given start, returning a nearby equilibrium point.
+func FindEquilibrium(f VectorField, x0, y0 float64) (x, y float64, err error) {
+	x, y = x0, y0
+	for iter := 0; iter < 200; iter++ {
+		u, v := f(x, y)
+		norm := math.Hypot(u, v)
+		scale := 1 + math.Hypot(x, y)
+		if norm <= 1e-12*scale {
+			return x, y, nil
+		}
+		j := Jacobian(f, x, y, 0)
+		det := j.Det()
+		if det == 0 || math.IsNaN(det) {
+			return 0, 0, fmt.Errorf("%w: singular Jacobian at (%v, %v)", ErrNoEquilibrium, x, y)
+		}
+		// Solve J·d = -(u, v).
+		dx := (-u*j.A22 + v*j.A12) / det
+		dy := (-v*j.A11 + u*j.A21) / det
+		// Damping: cap the step to avoid overshooting basins.
+		stepNorm := math.Hypot(dx, dy)
+		maxStep := 10 * scale
+		if stepNorm > maxStep {
+			dx *= maxStep / stepNorm
+			dy *= maxStep / stepNorm
+		}
+		x += dx
+		y += dy
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return 0, 0, fmt.Errorf("%w: diverged to NaN", ErrNoEquilibrium)
+		}
+	}
+	return 0, 0, ErrNoEquilibrium
+}

@@ -1,0 +1,85 @@
+package phaseplane
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobianOfLinearField(t *testing.T) {
+	sys := Linear2{A11: 1, A12: -2, A21: 3, A22: -4}
+	j := Jacobian(sys.Field(), 0.7, -0.3, 0)
+	if math.Abs(j.A11-1) > 1e-6 || math.Abs(j.A12+2) > 1e-6 ||
+		math.Abs(j.A21-3) > 1e-6 || math.Abs(j.A22+4) > 1e-6 {
+		t.Errorf("Jacobian = %+v, want the matrix itself", j)
+	}
+}
+
+func TestClassifyAtNonlinear(t *testing.T) {
+	// Van der Pol at the origin: Jacobian [[0,1],[-1,mu]] — an unstable
+	// focus for 0 < mu < 2.
+	if got := ClassifyAt(vanDerPol(1), 0, 0); got != KindUnstableFocus {
+		t.Errorf("Van der Pol origin = %v, want unstable focus", got)
+	}
+	// Damped pendulum linearized at the bottom: stable focus.
+	pend := func(x, y float64) (float64, float64) {
+		return y, -math.Sin(x) - 0.5*y
+	}
+	if got := ClassifyAt(pend, 0, 0); got != KindStableFocus {
+		t.Errorf("pendulum bottom = %v, want stable focus", got)
+	}
+	// At the top (x = pi): saddle.
+	if got := ClassifyAt(pend, math.Pi, 0); got != KindSaddle {
+		t.Errorf("pendulum top = %v, want saddle", got)
+	}
+}
+
+func TestFindEquilibrium(t *testing.T) {
+	// Pendulum: equilibria at multiples of pi.
+	pend := func(x, y float64) (float64, float64) {
+		return y, -math.Sin(x) - 0.5*y
+	}
+	x, y, err := FindEquilibrium(pend, 0.5, 0.2)
+	if err != nil {
+		t.Fatalf("FindEquilibrium: %v", err)
+	}
+	if math.Abs(x) > 1e-8 || math.Abs(y) > 1e-8 {
+		t.Errorf("equilibrium at (%v, %v), want origin", x, y)
+	}
+	x, _, err = FindEquilibrium(pend, 3.0, 0.1)
+	if err != nil {
+		t.Fatalf("FindEquilibrium near pi: %v", err)
+	}
+	if math.Abs(x-math.Pi) > 1e-8 {
+		t.Errorf("equilibrium at x=%v, want pi", x)
+	}
+}
+
+func TestFindEquilibriumSingular(t *testing.T) {
+	// A field with identically singular Jacobian: f = (0, 0) wait — use
+	// f = (y², 0): Jacobian rows [0, 2y; 0 0], det 0 everywhere off a
+	// root, and no isolated equilibrium for the Newton step to find.
+	f := func(x, y float64) (float64, float64) { return 1 + y*y, 0 }
+	if _, _, err := FindEquilibrium(f, 1, 1); !errors.Is(err, ErrNoEquilibrium) {
+		t.Errorf("err = %v, want ErrNoEquilibrium", err)
+	}
+}
+
+// TestQuickJacobianLinearExact: for random linear fields the numeric
+// Jacobian recovers the matrix everywhere.
+func TestQuickJacobianLinearExact(t *testing.T) {
+	prop := func(a, b, c, d int8, px, py int8) bool {
+		sys := Linear2{
+			A11: float64(a) / 8, A12: float64(b) / 8,
+			A21: float64(c) / 8, A22: float64(d) / 8,
+		}
+		j := Jacobian(sys.Field(), float64(px)/4, float64(py)/4, 0)
+		tol := 1e-5
+		return math.Abs(j.A11-sys.A11) < tol && math.Abs(j.A12-sys.A12) < tol &&
+			math.Abs(j.A21-sys.A21) < tol && math.Abs(j.A22-sys.A22) < tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,399 @@
+package phaseplane
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  Linear2
+		want SingularKind
+	}{
+		{"stable focus", Companion(1, 4), KindStableFocus},      // λ²+λ+4
+		{"unstable focus", Companion(-1, 4), KindUnstableFocus}, // λ²-λ+4
+		{"center", Companion(0, 1), KindCenter},
+		{"stable node", Companion(5, 4), KindStableNode}, // roots -1,-4
+		{"unstable node", Companion(-5, 4), KindUnstableNode},
+		{"saddle", Companion(0, -1), KindSaddle}, // roots ±1
+		{"degenerate stable", Companion(2, 1), KindDegenerateStableNode},
+		{"degenerate unstable", Companion(-2, 1), KindDegenerateUnstableNode},
+		{"singular", Companion(1, 0), KindUnknown},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.sys.Classify(); got != c.want {
+				t.Errorf("Classify() = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestKindStable(t *testing.T) {
+	stable := []SingularKind{KindStableFocus, KindStableNode, KindDegenerateStableNode}
+	unstable := []SingularKind{KindUnstableFocus, KindUnstableNode, KindSaddle, KindCenter, KindUnknown}
+	for _, k := range stable {
+		if !k.Stable() {
+			t.Errorf("%v should be stable", k)
+		}
+	}
+	for _, k := range unstable {
+		if k.Stable() {
+			t.Errorf("%v should not be stable", k)
+		}
+	}
+}
+
+func TestEigenvalues(t *testing.T) {
+	// λ² + 5λ + 4 = 0 → λ = -1, -4.
+	e := Companion(5, 4).Eigenvalues()
+	if e.Complex {
+		t.Fatalf("expected real eigenvalues")
+	}
+	if math.Abs(e.L1+4) > 1e-12 || math.Abs(e.L2+1) > 1e-12 {
+		t.Errorf("eigenvalues (%v, %v), want (-4, -1)", e.L1, e.L2)
+	}
+	// λ² + 2λ + 5 = 0 → λ = -1 ± 2i.
+	e = Companion(2, 5).Eigenvalues()
+	if !e.Complex {
+		t.Fatalf("expected complex eigenvalues")
+	}
+	if math.Abs(e.Re+1) > 1e-12 || math.Abs(e.Im-2) > 1e-12 {
+		t.Errorf("eigenvalues %v±%vi, want -1±2i", e.Re, e.Im)
+	}
+}
+
+// TestQuickClassifyMatchesEigen: classification agrees with eigenvalue signs
+// for random companion systems.
+func TestQuickClassifyMatchesEigen(t *testing.T) {
+	prop := func(mRaw, nRaw int8) bool {
+		m := float64(mRaw) / 8
+		n := float64(nRaw) / 8
+		sys := Companion(m, n)
+		kind := sys.Classify()
+		e := sys.Eigenvalues()
+		if sys.Det() == 0 {
+			return kind == KindUnknown
+		}
+		if e.Complex {
+			switch {
+			case e.Re < 0:
+				return kind == KindStableFocus
+			case e.Re > 0:
+				return kind == KindUnstableFocus
+			default:
+				return kind == KindCenter
+			}
+		}
+		switch {
+		case e.L1 < 0 && e.L2 < 0:
+			return kind == KindStableNode || kind == KindDegenerateStableNode
+		case e.L1 > 0 && e.L2 > 0:
+			return kind == KindUnstableNode || kind == KindDegenerateUnstableNode
+		default:
+			return kind == KindSaddle
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenline(t *testing.T) {
+	sys := Companion(5, 4)
+	m, err := sys.Eigenline(-1)
+	if err != nil || m != -1 {
+		t.Errorf("Eigenline(-1) = %v, %v", m, err)
+	}
+	bad := Linear2{A11: 1, A12: 2, A21: 3, A22: 4}
+	if _, err := bad.Eigenline(-1); err == nil {
+		t.Error("Eigenline on non-companion form should error")
+	}
+}
+
+func TestTraceStableFocusConverges(t *testing.T) {
+	sys := Companion(1, 4) // stable focus
+	path, err := Trace(sys.Field(), 1, 0, TraceOptions{
+		Horizon:        100,
+		ConvergeRadius: 1e-4,
+	})
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if !path.Converged {
+		t.Error("stable focus trajectory did not converge")
+	}
+	if path.Escaped {
+		t.Error("unexpected escape")
+	}
+	// A spiral must cross x=0 at least once en route.
+	if path.MinX() >= 0 {
+		t.Error("spiral should overshoot into x<0")
+	}
+}
+
+func TestTraceEscape(t *testing.T) {
+	sys := Companion(-1, 4) // unstable focus
+	path, err := Trace(sys.Field(), 0.1, 0, TraceOptions{
+		Horizon: 1000,
+		Box:     Box{XMin: -5, XMax: 5, YMin: -10, YMax: 10},
+	})
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if !path.Escaped {
+		t.Error("unstable trajectory should escape the box")
+	}
+}
+
+func TestTraceRecordsSwitchCrossings(t *testing.T) {
+	// Harmonic oscillator crossing the line x + y = 0 periodically.
+	f := Companion(0, 1).Field()
+	sigma := func(x, y float64) float64 { return x + y }
+	path, err := Trace(f, 1, 0, TraceOptions{Horizon: 2 * math.Pi, Sigma: sigma})
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	// One full revolution crosses the line twice.
+	if len(path.Crossings) != 2 {
+		t.Fatalf("got %d crossings, want 2", len(path.Crossings))
+	}
+	for _, c := range path.Crossings {
+		if math.Abs(c.X+c.Y) > 1e-6 {
+			t.Errorf("crossing (%v, %v) not on the line", c.X, c.Y)
+		}
+	}
+}
+
+func TestTraceInvalidHorizon(t *testing.T) {
+	if _, err := Trace(Companion(1, 1).Field(), 1, 0, TraceOptions{}); err == nil {
+		t.Error("zero horizon should error")
+	}
+}
+
+func TestPathAt(t *testing.T) {
+	p := &Path{T: []float64{0, 1, 2}, X: []float64{0, 10, 20}, Y: []float64{0, -10, -20}}
+	x, y := p.At(0.5)
+	if x != 5 || y != -5 {
+		t.Errorf("At(0.5) = (%v, %v)", x, y)
+	}
+	x, _ = p.At(-1)
+	if x != 0 {
+		t.Errorf("At(-1) clamps to start, got x=%v", x)
+	}
+	x, _ = p.At(99)
+	if x != 20 {
+		t.Errorf("At(99) clamps to end, got x=%v", x)
+	}
+}
+
+func TestSwitchedFieldSelection(t *testing.T) {
+	pos := func(x, y float64) (float64, float64) { return 1, 0 }
+	neg := func(x, y float64) (float64, float64) { return -1, 0 }
+	sigma := func(x, y float64) float64 { return y }
+	f := Switched(sigma, pos, neg)
+	if u, _ := f(0, 1); u != 1 {
+		t.Errorf("sigma>0 picked wrong field: u=%v", u)
+	}
+	if u, _ := f(0, -1); u != -1 {
+		t.Errorf("sigma<0 picked wrong field: u=%v", u)
+	}
+	if u, _ := f(0, 0); u != 0 {
+		t.Errorf("on the surface expected mean 0, got %v", u)
+	}
+}
+
+func vanDerPol(mu float64) VectorField {
+	return func(x, y float64) (float64, float64) {
+		return y, mu*(1-x*x)*y - x
+	}
+}
+
+func vdpReturnMap(mu float64) *ReturnMap {
+	return &ReturnMap{
+		Field:   vanDerPol(mu),
+		Sigma:   func(x, y float64) float64 { return y },
+		Embed:   func(s float64) (float64, float64) { return s, 0 },
+		Project: func(x, y float64) float64 { return x },
+		Horizon: 100,
+	}
+}
+
+func TestReturnMapVanDerPolLimitCycle(t *testing.T) {
+	// The Van der Pol oscillator (mu=1) has a stable limit cycle with
+	// x-amplitude ~2.009 on the section y=0.
+	m := vdpReturnMap(1)
+	sStar, err := m.FixedPoint(0.5, 4, 16)
+	if err != nil {
+		t.Fatalf("FixedPoint: %v", err)
+	}
+	if math.Abs(sStar-2.009) > 0.05 {
+		t.Errorf("limit cycle amplitude %v, want ~2.009", sStar)
+	}
+	// The cycle is attracting: |P'(s*)| < 1.
+	deriv, err := m.Stability(sStar, 0)
+	if err != nil {
+		t.Fatalf("Stability: %v", err)
+	}
+	if math.Abs(deriv) >= 1 {
+		t.Errorf("|P'(s*)| = %v, want < 1 (attracting)", math.Abs(deriv))
+	}
+}
+
+func TestReturnMapIterateConvergesToCycle(t *testing.T) {
+	m := vdpReturnMap(1)
+	orbit, err := m.Iterate(0.5, 12)
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	last := orbit[len(orbit)-1]
+	if math.Abs(last-2.009) > 0.05 {
+		t.Errorf("orbit converged to %v, want ~2.009", last)
+	}
+}
+
+func TestReturnMapNoFixedPoint(t *testing.T) {
+	// Linear stable focus: return map is a pure contraction, no
+	// nontrivial fixed point.
+	sys := Companion(1, 4)
+	m := &ReturnMap{
+		Field:   sys.Field(),
+		Sigma:   func(x, y float64) float64 { return y },
+		Embed:   func(s float64) (float64, float64) { return s, 0 },
+		Project: func(x, y float64) float64 { return x },
+		Horizon: 100,
+	}
+	if _, err := m.FixedPoint(0.5, 4, 8); !errors.Is(err, ErrNoFixedPoint) {
+		t.Errorf("err = %v, want ErrNoFixedPoint", err)
+	}
+}
+
+func TestReturnMapContractionFactor(t *testing.T) {
+	// For the linear stable focus x''+x'+4x=0 the return-map multiplier
+	// over a full revolution is exp(2*pi*alpha/beta) with alpha=-1/2,
+	// beta=sqrt(15)/2.
+	sys := Companion(1, 4)
+	m := &ReturnMap{
+		Field:   sys.Field(),
+		Sigma:   func(x, y float64) float64 { return y },
+		Embed:   func(s float64) (float64, float64) { return s, 0 },
+		Project: func(x, y float64) float64 { return x },
+		Horizon: 100,
+	}
+	next, period, err := m.Map(1)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	alpha, beta := -0.5, math.Sqrt(15)/2
+	wantRho := math.Exp(2 * math.Pi * alpha / beta)
+	wantPeriod := 2 * math.Pi / beta
+	if math.Abs(next-wantRho) > 1e-4 {
+		t.Errorf("multiplier %v, want %v", next, wantRho)
+	}
+	if math.Abs(period-wantPeriod) > 1e-4 {
+		t.Errorf("period %v, want %v", period, wantPeriod)
+	}
+}
+
+func TestReturnMapValidation(t *testing.T) {
+	m := &ReturnMap{}
+	if _, _, err := m.Map(1); err == nil {
+		t.Error("empty ReturnMap should error")
+	}
+	if _, err := m.FixedPoint(1, 0, 8); err == nil {
+		t.Error("reversed interval should error")
+	}
+	good := vdpReturnMap(1)
+	if _, err := good.FixedPoint(0.5, 4, 1); err == nil {
+		t.Error("nScan < 2 should error")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	arrows, err := Grid(Companion(0, 1).Field(), -1, 1, -1, 1, 5, 5)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if len(arrows) != 25 {
+		t.Fatalf("got %d arrows, want 25", len(arrows))
+	}
+	for _, a := range arrows {
+		if a.Mag > 0 {
+			if n := math.Hypot(a.U, a.V); math.Abs(n-1) > 1e-12 {
+				t.Errorf("arrow at (%v,%v) not unit: %v", a.X, a.Y, n)
+			}
+		}
+	}
+	if _, err := Grid(Companion(0, 1).Field(), -1, 1, -1, 1, 1, 5); err == nil {
+		t.Error("nx < 2 should error")
+	}
+	if _, err := Grid(Companion(0, 1).Field(), 1, -1, -1, 1, 5, 5); err == nil {
+		t.Error("empty extent should error")
+	}
+}
+
+func TestNullcline(t *testing.T) {
+	// For the harmonic oscillator x'=y, y'=-x: the dx/dt=0 nullcline is
+	// the x-axis (y=0); the dy/dt=0 nullcline is the y-axis (x=0).
+	pts, err := Nullcline(Companion(0, 1).Field(), 0, -1, 1, -1, 1, 21)
+	if err != nil {
+		t.Fatalf("Nullcline: %v", err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no nullcline points found")
+	}
+	for _, p := range pts {
+		if math.Abs(p[1]) > 1e-9 {
+			t.Errorf("dx/dt nullcline point (%v, %v) should have y=0", p[0], p[1])
+		}
+	}
+	if _, err := Nullcline(Companion(0, 1).Field(), 2, -1, 1, -1, 1, 21); err == nil {
+		t.Error("bad component should error")
+	}
+	if _, err := Nullcline(Companion(0, 1).Field(), 0, -1, 1, -1, 1, 1); err == nil {
+		t.Error("n < 2 should error")
+	}
+}
+
+func TestBox(t *testing.T) {
+	var zero Box
+	if !zero.Zero() {
+		t.Error("zero box should report Zero")
+	}
+	b := Box{XMin: -1, XMax: 1, YMin: -2, YMax: 2}
+	if b.Zero() {
+		t.Error("non-zero box misreported")
+	}
+	if !b.Contains(0, 0) || b.Contains(2, 0) || b.Contains(0, 3) {
+		t.Error("Contains is wrong")
+	}
+}
+
+func TestSingularKindStrings(t *testing.T) {
+	kinds := []SingularKind{
+		KindUnknown, KindStableFocus, KindUnstableFocus, KindCenter,
+		KindStableNode, KindUnstableNode, KindSaddle,
+		KindDegenerateStableNode, KindDegenerateUnstableNode,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Errorf("empty name for %d", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestPathExtremes(t *testing.T) {
+	p := &Path{X: []float64{-2, 5, 1}, Y: []float64{0, 0, 0}, T: []float64{0, 1, 2}}
+	if p.MaxX() != 5 || p.MinX() != -2 {
+		t.Errorf("extremes = %v, %v", p.MaxX(), p.MinX())
+	}
+}

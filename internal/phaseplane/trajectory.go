@@ -1,0 +1,192 @@
+package phaseplane
+
+import (
+	"fmt"
+	"math"
+
+	"bcnphase/internal/ode"
+)
+
+// Path is a traced planar trajectory.
+type Path struct {
+	T, X, Y []float64
+	// Crossings are located switching-surface crossings (for switched
+	// systems) or custom event hits, in time order.
+	Crossings []Crossing
+	// Converged is true when tracing stopped because the state entered
+	// the convergence ball around the target point.
+	Converged bool
+	// Escaped is true when tracing stopped because the state left the
+	// bounding box.
+	Escaped bool
+}
+
+// Crossing records one event/surface crossing along a path.
+type Crossing struct {
+	T, X, Y float64
+	Name    string
+}
+
+// At linearly interpolates the path position at time t (clamped).
+func (p *Path) At(t float64) (float64, float64) {
+	n := len(p.T)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if t <= p.T[0] {
+		return p.X[0], p.Y[0]
+	}
+	if t >= p.T[n-1] {
+		return p.X[n-1], p.Y[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	w := (t - p.T[lo]) / (p.T[hi] - p.T[lo])
+	return (1-w)*p.X[lo] + w*p.X[hi], (1-w)*p.Y[lo] + w*p.Y[hi]
+}
+
+// MaxX and MinX return the extreme x excursions of the path.
+func (p *Path) MaxX() float64 { return extreme(p.X, math.Max, math.Inf(-1)) }
+
+// MinX returns the minimum x along the path.
+func (p *Path) MinX() float64 { return extreme(p.X, math.Min, math.Inf(1)) }
+
+func extreme(v []float64, pick func(a, b float64) float64, id float64) float64 {
+	out := id
+	for _, x := range v {
+		out = pick(out, x)
+	}
+	return out
+}
+
+// TraceOptions controls Trace.
+type TraceOptions struct {
+	// Horizon is the maximum integration time. Required (> 0).
+	Horizon float64
+	// ConvergeRadius stops tracing when hypot(x, y) falls below it.
+	// Zero disables the check.
+	ConvergeRadius float64
+	// Box stops tracing when the state leaves [XMin,XMax]×[YMin,YMax].
+	// A zero-valued box disables the check.
+	Box Box
+	// Sigma, when non-nil, is a switching function whose zero crossings
+	// are recorded (non-terminally) in Path.Crossings.
+	Sigma func(x, y float64) float64
+	// ODE overrides the integrator tolerances; zero values use defaults.
+	ODE ode.Options
+}
+
+// Box is an axis-aligned rectangle. The zero value is treated as "no box".
+type Box struct {
+	XMin, XMax, YMin, YMax float64
+}
+
+// Zero reports whether the box is the zero value (disabled).
+func (b Box) Zero() bool { return b == Box{} }
+
+// Contains reports whether (x, y) lies inside the closed box.
+func (b Box) Contains(x, y float64) bool {
+	return x >= b.XMin && x <= b.XMax && y >= b.YMin && y <= b.YMax
+}
+
+// Trace integrates the field from (x0, y0) with the adaptive RK45 driver,
+// stopping at the horizon, on convergence to the origin-ball, or on escape
+// from the box, whichever comes first.
+func Trace(f VectorField, x0, y0 float64, opts TraceOptions) (*Path, error) {
+	if opts.Horizon <= 0 {
+		return nil, fmt.Errorf("phaseplane: horizon must be positive, got %v", opts.Horizon)
+	}
+	rhs := func(_ float64, y, dydt []float64) {
+		dydt[0], dydt[1] = f(y[0], y[1])
+	}
+	o := opts.ODE
+	if o.AbsTol == 0 && o.RelTol == 0 {
+		o = ode.DefaultOptions()
+	}
+	o.Dense = true
+	if opts.ConvergeRadius > 0 {
+		r := opts.ConvergeRadius
+		o.Events = append(o.Events, ode.Event{
+			Name:     "converged",
+			Terminal: true,
+			G: func(_ float64, y []float64) float64 {
+				return math.Hypot(y[0], y[1]) - r
+			},
+			Direction: -1,
+		})
+	}
+	if !opts.Box.Zero() {
+		b := opts.Box
+		o.Events = append(o.Events, ode.Event{
+			Name:     "escaped",
+			Terminal: true,
+			G: func(_ float64, y []float64) float64 {
+				// Negative inside, positive outside: max of the
+				// four signed face distances.
+				d := b.XMin - y[0]
+				d = math.Max(d, y[0]-b.XMax)
+				d = math.Max(d, b.YMin-y[1])
+				return math.Max(d, y[1]-b.YMax)
+			},
+			Direction: +1,
+		})
+	}
+	if opts.Sigma != nil {
+		s := opts.Sigma
+		o.Events = append(o.Events, ode.Event{
+			Name: "switch",
+			G: func(_ float64, y []float64) float64 {
+				return s(y[0], y[1])
+			},
+		})
+	}
+	sol, err := ode.DormandPrince(rhs, 0, []float64{x0, y0}, opts.Horizon, o)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	path := &Path{
+		T: sol.T,
+		X: sol.Component(0),
+		Y: sol.Component(1),
+	}
+	for _, ev := range sol.Events {
+		switch ev.Name {
+		case "converged":
+			path.Converged = true
+		case "escaped":
+			path.Escaped = true
+		default:
+			path.Crossings = append(path.Crossings, Crossing{
+				T: ev.T, X: ev.Y[0], Y: ev.Y[1], Name: ev.Name,
+			})
+		}
+	}
+	return path, nil
+}
+
+// Switched combines two vector fields selected by the sign of sigma:
+// fieldPos applies where sigma > 0, fieldNeg where sigma < 0. On the
+// switching surface the mean of the two one-sided limits is used, which is
+// exact for fields (like BCN's) that agree and vanish there.
+func Switched(sigma func(x, y float64) float64, fieldPos, fieldNeg VectorField) VectorField {
+	return func(x, y float64) (float64, float64) {
+		s := sigma(x, y)
+		switch {
+		case s > 0:
+			return fieldPos(x, y)
+		case s < 0:
+			return fieldNeg(x, y)
+		default:
+			u1, v1 := fieldPos(x, y)
+			u2, v2 := fieldNeg(x, y)
+			return 0.5 * (u1 + u2), 0.5 * (v1 + v2)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII renders series onto a text grid for terminal inspection. Each
+// series uses a distinct rune. It returns the rendered block or an error
+// for empty input.
+func ASCII(title string, width, height int, series ...Series) (string, error) {
+	if width < 16 {
+		width = 64
+	}
+	if height < 8 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	saw := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			saw = true
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if !saw {
+		return "", ErrEmptyChart
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-1, xmax+1
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	glyphs := []rune{'*', '+', 'o', 'x', '#', '@'}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((ymax - s.Y[i]) / (ymax - ymin) * float64(height-1))
+			if cx >= 0 && cx < width && cy >= 0 && cy < height {
+				grid[cy][cx] = g
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "y: [%s, %s]\n", FormatTick(ymin), FormatTick(ymax))
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "x: [%s, %s]\n", FormatTick(xmin), FormatTick(xmax))
+	for si, s := range series {
+		if s.Name != "" {
+			fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,111 @@
+// Package plot renders line charts, scatter plots and phase portraits to
+// SVG and ASCII using only the standard library. It exists because the
+// reproduction must regenerate the paper's figures offline, where no
+// plotting library is available.
+package plot
+
+import (
+	"math"
+	"strconv"
+)
+
+// niceNum rounds x to a "nice" value (1, 2 or 5 times a power of ten).
+// When round is true it rounds to the nearest nice value, otherwise up.
+func niceNum(x float64, round bool) float64 {
+	if x == 0 {
+		return 0
+	}
+	exp := math.Floor(math.Log10(x))
+	f := x / math.Pow(10, exp) // fraction in [1, 10)
+	var nf float64
+	if round {
+		switch {
+		case f < 1.5:
+			nf = 1
+		case f < 3:
+			nf = 2
+		case f < 7:
+			nf = 5
+		default:
+			nf = 10
+		}
+	} else {
+		switch {
+		case f <= 1:
+			nf = 1
+		case f <= 2:
+			nf = 2
+		case f <= 5:
+			nf = 5
+		default:
+			nf = 10
+		}
+	}
+	return nf * math.Pow(10, exp)
+}
+
+// Ticks returns ~n nicely rounded tick positions covering [lo, hi].
+func Ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if lo == hi {
+		lo -= 0.5
+		hi += 0.5
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	span := niceNum(hi-lo, false)
+	step := niceNum(span/float64(n-1), true)
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+0.5*step; v += step {
+		if v >= lo-0.5*step {
+			ticks = append(ticks, v)
+		}
+	}
+	return ticks
+}
+
+// FormatTick renders a tick label compactly, using SI-style suffixes for
+// large magnitudes (k, M, G) common in networking plots.
+func FormatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e9:
+		return trimZero(strconv.FormatFloat(v/1e9, 'f', 2, 64)) + "G"
+	case av >= 1e6:
+		return trimZero(strconv.FormatFloat(v/1e6, 'f', 2, 64)) + "M"
+	case av >= 1e3:
+		return trimZero(strconv.FormatFloat(v/1e3, 'f', 2, 64)) + "k"
+	case av < 1e-3:
+		return strconv.FormatFloat(v, 'e', 1, 64)
+	default:
+		return trimZero(strconv.FormatFloat(v, 'f', 3, 64))
+	}
+}
+
+func trimZero(s string) string {
+	// Strip trailing zeros and a dangling decimal point.
+	i := len(s)
+	hasDot := false
+	for _, c := range s {
+		if c == '.' {
+			hasDot = true
+			break
+		}
+	}
+	if !hasDot {
+		return s
+	}
+	for i > 0 && s[i-1] == '0' {
+		i--
+	}
+	if i > 0 && s[i-1] == '.' {
+		i--
+	}
+	return s[:i]
+}

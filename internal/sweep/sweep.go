@@ -1,0 +1,144 @@
+// Package sweep runs parameter studies concurrently with bounded
+// parallelism: a grid of points is mapped through an evaluation function
+// on a worker pool, preserving input order in the results. The stability
+// maps and transient sweeps in internal/experiments and cmd/bcnsweep are
+// the primary clients — each grid point solves an independent trajectory,
+// so the sweeps parallelize embarrassingly.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Func evaluates one point of a sweep.
+type Func[P, R any] func(ctx context.Context, point P) (R, error)
+
+// Options configures Run.
+type Options struct {
+	// Workers bounds the concurrency; 0 defaults to GOMAXPROCS.
+	Workers int
+}
+
+// Result pairs one input point with its output (or error).
+type Result[P, R any] struct {
+	Point P
+	Value R
+	Err   error
+}
+
+// Run evaluates fn on every point with at most opts.Workers goroutines,
+// returning results in input order. The first error cancels the context
+// handed to the remaining evaluations, but every point still produces a
+// Result (possibly with Err set, including ctx.Err for cancelled ones);
+// Run itself returns the first error observed, if any.
+func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options) ([]Result[P, R], error) {
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil evaluation function")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]Result[P, R], len(points))
+	if len(points) == 0 {
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p := points[i]
+				if err := ctx.Err(); err != nil {
+					results[i] = Result[P, R]{Point: p, Err: err}
+					continue
+				}
+				v, err := fn(ctx, p)
+				results[i] = Result[P, R]{Point: p, Value: v, Err: err}
+				if err != nil {
+					setErr(err)
+				}
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, firstErr
+}
+
+// Grid2 builds the cartesian product of two axes as point pairs, row
+// major (all ys for the first x, then the next x).
+func Grid2[A, B any](xs []A, ys []B) []Pair[A, B] {
+	out := make([]Pair[A, B], 0, len(xs)*len(ys))
+	for _, x := range xs {
+		for _, y := range ys {
+			out = append(out, Pair[A, B]{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+// Pair is one 2-D grid point.
+type Pair[A, B any] struct {
+	X A
+	Y B
+}
+
+// Logspace returns n geometrically spaced values from lo to hi inclusive.
+func Logspace(lo, hi float64, n int) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sweep: Logspace needs n >= 2, got %d", n)
+	}
+	if !(lo > 0) || !(hi > 0) {
+		return nil, fmt.Errorf("sweep: Logspace needs positive bounds, got [%v, %v]", lo, hi)
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = lo * math.Pow(ratio, f)
+	}
+	return out, nil
+}
+
+// Linspace returns n uniformly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sweep: Linspace needs n >= 2, got %d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		f := float64(i) / float64(n-1)
+		out[i] = lo + (hi-lo)*f
+	}
+	return out, nil
+}
