@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race fuzz-seeds check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every fuzz target against its seed corpus only (no fuzzing time);
+# catches regressions in the checked-in interesting inputs.
+fuzz-seeds:
+	$(GO) test -run='^Fuzz' ./...
+
+# The full pre-merge gate: static checks, build, race-enabled tests and
+# the fuzz seed corpora.
+check: vet build race fuzz-seeds
+
+clean:
+	rm -rf out
+	$(GO) clean -testcache

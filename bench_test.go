@@ -230,3 +230,6 @@ func BenchmarkDelaySensitivity(b *testing.B) { benchExperiment(b, experiments.De
 
 // BenchmarkPaperScale regenerates the packet-level Theorem 1 replay.
 func BenchmarkPaperScale(b *testing.B) { benchExperiment(b, experiments.PaperScale) }
+
+// BenchmarkFaultTolerance regenerates the feedback-degradation study.
+func BenchmarkFaultTolerance(b *testing.B) { benchExperiment(b, experiments.FaultTolerance) }

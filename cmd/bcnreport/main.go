@@ -48,9 +48,9 @@ func run(args []string) error {
 			if e.ID != *only {
 				continue
 			}
-			rep, err := e.Run()
+			rep, err := experiments.SafeRun(e)
 			if err != nil {
-				return err
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
 			}
 			if err := rep.WriteFiles(*out); err != nil {
 				return err
@@ -66,17 +66,17 @@ func run(args []string) error {
 		}
 		return fmt.Errorf("unknown experiment %q (use -list)", *only)
 	}
-	summary, err := experiments.RunAll(*out)
-	if err != nil {
-		return err
-	}
+	// Completed experiments keep their artifacts and summary even when
+	// some fail; the failures surface in the exit status afterwards.
+	summary, runErr := experiments.RunAll(*out)
 	if *md {
 		var b strings.Builder
 		b.WriteString("# Regenerated results\n\n")
 		for _, e := range experiments.Registry() {
-			rep, err := e.Run()
+			rep, err := experiments.SafeRun(e)
 			if err != nil {
-				return err
+				fmt.Fprintf(&b, "## %s\n\nFAILED: %v\n\n", e.ID, err)
+				continue
 			}
 			b.WriteString(rep.Markdown())
 		}
@@ -87,5 +87,8 @@ func run(args []string) error {
 	}
 	fmt.Print(summary)
 	fmt.Printf("artifacts written to %s\n", *out)
+	if runErr != nil {
+		return fmt.Errorf("completed with failures: %w", runErr)
+	}
 	return nil
 }

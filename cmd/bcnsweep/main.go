@@ -9,14 +9,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"bcnphase/internal/core"
 	"bcnphase/internal/linear"
+	"bcnphase/internal/sweep"
 )
 
 func main() {
@@ -24,6 +27,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bcnsweep:", err)
 		os.Exit(1)
 	}
+}
+
+// gainPoint is one (Gi, Gd) grid point.
+type gainPoint struct {
+	Gi, Gd float64
 }
 
 func run(args []string, out io.Writer) error {
@@ -36,6 +44,8 @@ func run(args []string, out io.Writer) error {
 		gdLo    = fs.Float64("gd-lo", 1.0/1024, "Gd sweep lower bound")
 		gdHi    = fs.Float64("gd-hi", 0.5, "Gd sweep upper bound")
 		steps   = fs.Int("steps", 10, "grid points per axis")
+		workers = fs.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
+		timeout = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,27 +59,54 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("buffer multiple %v leaves B <= q0", *bOverQ0)
 	}
 
-	fmt.Fprintln(out, "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho")
+	var points []gainPoint
 	for i := 0; i < *steps; i++ {
 		gi := geom(*giLo, *giHi, i, *steps)
 		for j := 0; j < *steps; j++ {
-			gd := geom(*gdLo, *gdHi, j, *steps)
-			p := base
-			p.Gi = gi
-			p.Gd = gd
-			v, err := linear.Compare(p)
-			if err != nil {
-				return fmt.Errorf("Gi=%v Gd=%v: %w", gi, gd, err)
-			}
-			tr, err := core.Solve(p, core.SolveOptions{})
-			if err != nil {
-				return fmt.Errorf("Gi=%v Gd=%v: %w", gi, gd, err)
-			}
-			fmt.Fprintf(out, "%g,%g,%d,%v,%v,%g,%s,%v,%g,%g\n",
-				gi, gd, int(p.Case()), v.LinearStable, v.Theorem1OK,
-				core.Theorem1Bound(p), tr.Outcome, tr.Outcome.StronglyStable(),
-				tr.MaxQueue(), tr.Rho)
+			points = append(points, gainPoint{Gi: gi, Gd: geom(*gdLo, *gdHi, j, *steps)})
 		}
+	}
+	eval := func(_ context.Context, pt gainPoint) (string, error) {
+		p := base
+		p.Gi = pt.Gi
+		p.Gd = pt.Gd
+		v, err := linear.Compare(p)
+		if err != nil {
+			return "", err
+		}
+		tr, err := core.Solve(p, core.SolveOptions{})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%g,%g,%d,%v,%v,%g,%s,%v,%g,%g",
+			pt.Gi, pt.Gd, int(p.Case()), v.LinearStable, v.Theorem1OK,
+			core.Theorem1Bound(p), tr.Outcome, tr.Outcome.StronglyStable(),
+			tr.MaxQueue(), tr.Rho), nil
+	}
+
+	// Continue past bad points: every healthy row is still emitted in
+	// grid order, failures are summarized, and the exit status reflects
+	// the degradation.
+	results, _ := sweep.Run(context.Background(), points, eval, sweep.Options{
+		Workers:         *workers,
+		PointTimeout:    *timeout,
+		ContinueOnError: true,
+	})
+
+	fmt.Fprintln(out, "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho")
+	var failed []string
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, fmt.Sprintf("Gi=%g Gd=%g: %v", r.Point.Gi, r.Point.Gd, r.Err))
+			continue
+		}
+		fmt.Fprintln(out, r.Value)
+	}
+	if len(failed) > 0 {
+		for _, f := range failed {
+			fmt.Fprintln(os.Stderr, "bcnsweep: point failed:", f)
+		}
+		return fmt.Errorf("%d of %d grid points failed (first: %s)", len(failed), len(points), failed[0])
 	}
 	return nil
 }

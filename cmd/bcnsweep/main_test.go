@@ -50,3 +50,28 @@ func TestGeom(t *testing.T) {
 		t.Errorf("geom end = %v", got)
 	}
 }
+
+func TestRunSweepDegradesOnPointTimeout(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-steps", "2", "-point-timeout", "1ns"}, &b)
+	if err == nil {
+		t.Fatal("expired per-point deadline reported no error")
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho" {
+		t.Errorf("header lost on degraded sweep: %q", lines[0])
+	}
+}
+
+func TestRunSweepParallelMatchesSerial(t *testing.T) {
+	var serial, par strings.Builder
+	if err := run([]string{"-steps", "3", "-workers", "1"}, &serial); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if err := run([]string{"-steps", "3", "-workers", "4"}, &par); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != par.String() {
+		t.Error("parallel sweep output differs from serial (ordering lost?)")
+	}
+}

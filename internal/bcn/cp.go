@@ -61,7 +61,7 @@ type CongestionPoint struct {
 	framesSinceSample int
 
 	// Counters for observability.
-	samples, posMsgs, negMsgs uint64
+	samples, posMsgs, negMsgs, rejected uint64
 }
 
 // NewCongestionPoint validates the config and builds the congestion point.
@@ -90,8 +90,22 @@ func (cp *CongestionPoint) Severe() bool {
 	return cp.cfg.Qsc > 0 && cp.queueBits > cp.cfg.Qsc
 }
 
+// Rejected returns how many malformed arrivals/departures were refused.
+func (cp *CongestionPoint) Rejected() uint64 { return cp.rejected }
+
+// validSize reports whether a frame size is usable for queue accounting;
+// a non-finite or non-positive size would poison queueBits and every σ
+// computed after it.
+func validSize(sizeBits float64) bool {
+	return sizeBits > 0 && !math.IsInf(sizeBits, 0)
+}
+
 // OnDeparture informs the congestion point that sizeBits left the queue.
 func (cp *CongestionPoint) OnDeparture(sizeBits float64) {
+	if !validSize(sizeBits) {
+		cp.rejected++
+		return
+	}
 	cp.queueBits -= sizeBits
 	if cp.queueBits < 0 {
 		cp.queueBits = 0
@@ -117,6 +131,10 @@ type Arrival struct {
 // only when the frame carries an RRT matching this CPID and the queue is
 // below the reference q0.
 func (cp *CongestionPoint) OnArrival(a Arrival) *Message {
+	if !validSize(a.SizeBits) {
+		cp.rejected++
+		return nil
+	}
 	cp.queueBits += a.SizeBits
 	cp.arrivedBits += a.SizeBits
 	cp.framesSinceSample++

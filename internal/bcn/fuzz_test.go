@@ -42,6 +42,61 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	})
 }
 
+// FuzzCorruptedWire models a bit-corrupting feedback channel: a valid
+// message is marshaled, mutated (bit flips, truncation, extension), and
+// decoded. Decode must either return an error or yield a message the
+// CP/RP can safely consume — Validate-accepted survivors fed to a
+// reaction point must never panic or push the rate out of bounds.
+func FuzzCorruptedWire(f *testing.F) {
+	f.Add(uint16(25), byte(0x01), int64(-100), false)
+	f.Add(uint16(13), byte(0x80), int64(40), true)
+	f.Add(uint16(0), byte(0xFF), int64(0), false)
+	f.Add(uint16(MessageLen), byte(0x55), int64(1<<30), true)
+
+	f.Fuzz(func(t *testing.T, pos uint16, mask byte, sigmaQ int64, chop bool) {
+		msg := &Message{
+			DA: MAC{0x02, 0, 0, 0, 0, 9}, SA: MAC{0x02, 0xC0, 0, 0, 0, 1},
+			CPID: 1, Sigma: float64(sigmaQ%(1<<31)) * FBUnit,
+		}
+		if msg.Sigma < 0 {
+			msg.Flags = FlagSevere
+		}
+		data, err := msg.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if int(pos) < len(data) {
+			data[pos] ^= mask
+		}
+		if chop && len(data) > 0 {
+			data = data[:int(pos)%len(data)]
+		}
+
+		var rx Message
+		if err := rx.UnmarshalBinary(data); err != nil {
+			return // rejected at decode: fine
+		}
+		if err := rx.Validate(); err != nil {
+			return // rejected at validation: fine
+		}
+		// A survivor carries plausible (possibly perturbed) feedback; it
+		// must still be safe to act on.
+		cfg := RPConfig{Ru: 8e6, Gi: 4, Gd: 1.0 / 128, MinRate: 1e6, MaxRate: 1e9, Mode: ModeFluid}
+		rp, err := NewReactionPoint(cfg, 5e8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp.OnMessage(&rx, 0.001)
+		if rej := rp.Rejected(); rej != 0 {
+			t.Fatalf("validated message rejected by the regulator (%d)", rej)
+		}
+		r := rp.Rate(0.002)
+		if math.IsNaN(r) || r < cfg.MinRate || r > cfg.MaxRate {
+			t.Fatalf("rate out of bounds after corrupted message: %v", r)
+		}
+	})
+}
+
 // FuzzReactionPoint drives the regulator with arbitrary message bytes and
 // times; the rate must stay within bounds and never become NaN.
 func FuzzReactionPoint(f *testing.F) {

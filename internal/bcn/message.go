@@ -44,7 +44,7 @@ func (m MAC) String() string {
 // congestion point".
 type CPID uint64
 
-// Errors returned by message decoding.
+// Errors returned by message decoding and validation.
 var (
 	// ErrShortMessage is returned when decoding fewer than MessageLen
 	// bytes.
@@ -52,6 +52,10 @@ var (
 	// ErrBadEtherType is returned when the EtherType field does not
 	// identify a BCN message.
 	ErrBadEtherType = errors.New("bcn: not a BCN message")
+	// ErrMalformed is returned by Validate for messages that decode but
+	// violate semantic invariants (reserved flag bits, zero CPID,
+	// non-finite feedback) and must not reach a rate regulator.
+	ErrMalformed = errors.New("bcn: malformed message")
 )
 
 // Message is a BCN control frame sent from a congestion point back to the
@@ -104,6 +108,24 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	m.Flags = binary.BigEndian.Uint16(data[14:16])
 	m.CPID = CPID(binary.BigEndian.Uint64(data[16:24]))
 	m.Sigma = float64(int32(binary.BigEndian.Uint32(data[24:28]))) * FBUnit
+	return nil
+}
+
+// Validate checks semantic invariants the wire format cannot express: no
+// reserved flag bits, a nonzero congestion-point ID, and finite feedback.
+// The BCN draft frames carry no CRC of their own in this model, so a
+// corrupted frame can decode cleanly; receivers call Validate and count
+// rejections instead of acting on garbage.
+func (m *Message) Validate() error {
+	if m.Flags&^FlagSevere != 0 {
+		return fmt.Errorf("%w: reserved flag bits %#04x", ErrMalformed, m.Flags)
+	}
+	if m.CPID == 0 {
+		return fmt.Errorf("%w: zero CPID", ErrMalformed)
+	}
+	if math.IsNaN(m.Sigma) || math.IsInf(m.Sigma, 0) {
+		return fmt.Errorf("%w: non-finite sigma %v", ErrMalformed, m.Sigma)
+	}
 	return nil
 }
 

@@ -85,7 +85,7 @@ type ReactionPoint struct {
 	// cpid is the associated congestion point (zero when none).
 	cpid CPID
 
-	increases, decreases uint64
+	increases, decreases, rejected uint64
 }
 
 // NewReactionPoint builds a regulator starting at initialRate.
@@ -137,8 +137,19 @@ func (rp *ReactionPoint) Tag() CPID { return rp.cpid }
 // Stats returns (increase, decrease) application counters.
 func (rp *ReactionPoint) Stats() (inc, dec uint64) { return rp.increases, rp.decreases }
 
+// Rejected returns how many malformed messages were refused.
+func (rp *ReactionPoint) Rejected() uint64 { return rp.rejected }
+
 // OnMessage applies a BCN message received at time now (seconds).
+// Malformed messages (nil, non-finite feedback, non-finite timestamps)
+// are rejected and counted rather than acted on: a corrupted feedback
+// frame must never NaN the rate or strand it outside [MinRate, MaxRate].
 func (rp *ReactionPoint) OnMessage(m *Message, now float64) {
+	if m == nil || math.IsNaN(m.Sigma) || math.IsInf(m.Sigma, 0) ||
+		math.IsNaN(now) || math.IsInf(now, 0) {
+		rp.rejected++
+		return
+	}
 	// Materialize the current rate before changing the held feedback.
 	r := rp.Rate(now)
 	rp.rateRef = r

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -152,5 +153,53 @@ func TestCriticalArcEigen(t *testing.T) {
 	}
 	if got := ca.Eigen(); got != -2 {
 		t.Errorf("Eigen = %v, want -2", got)
+	}
+}
+
+// TestNonFiniteRHSSurfacesWithPartialSolution: when the fluid RHS starts
+// producing NaN mid-trajectory (after the trajectory has already switched
+// control regions), the integrator must surface ode.ErrNotFinite while
+// retaining the finite prefix of the solution, so callers can report a
+// truncated trajectory instead of nothing.
+func TestNonFiniteRHSSurfacesWithPartialSolution(t *testing.T) {
+	p := FigureExample()
+	const horizon = 4e-3
+	const tBad = 2e-3 // past the first region switch, before the horizon
+
+	rhs := p.FluidRHS()
+	poisoned := func(tt float64, y, dydt []float64) {
+		rhs(tt, y, dydt)
+		if tt > tBad {
+			dydt[1] = math.NaN()
+		}
+	}
+	sol, err := ode.DormandPrince(poisoned, 0, []float64{-p.Q0 / 2, 0.1 * p.C}, horizon, ode.DefaultOptions())
+	if !errors.Is(err, ode.ErrNotFinite) {
+		t.Fatalf("err = %v, want ErrNotFinite", err)
+	}
+	if sol.Len() == 0 {
+		t.Fatal("partial solution discarded")
+	}
+	last := sol.T[sol.Len()-1]
+	if last <= 0 || last >= horizon {
+		t.Errorf("partial solution ends at t=%v, want within (0, %v)", last, horizon)
+	}
+	// Every retained sample must be finite, and the prefix must have
+	// genuinely crossed the switching line s = x + K·y before poisoning.
+	k := p.K()
+	var sawNeg, sawPos bool
+	for i := 0; i < sol.Len(); i++ {
+		x, y := sol.Y[i][0], sol.Y[i][1]
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			t.Fatalf("non-finite sample retained at t=%v: (%v, %v)", sol.T[i], x, y)
+		}
+		if s := x + k*y; s < 0 {
+			sawNeg = true
+		} else if s > 0 {
+			sawPos = true
+		}
+	}
+	if !sawNeg || !sawPos {
+		t.Errorf("prefix never switched regions (neg=%t pos=%t); tBad too early for this scenario", sawNeg, sawPos)
 	}
 }

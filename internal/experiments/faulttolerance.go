@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/faults"
+	"bcnphase/internal/netsim"
+	"bcnphase/internal/ode"
+	"bcnphase/internal/plot"
+	"bcnphase/internal/stats"
+	"bcnphase/internal/sweep"
+	"bcnphase/internal/workload"
+)
+
+// faultPoint is one (feedback-loss, delay-jitter) grid point of X5.
+type faultPoint struct {
+	Loss     float64
+	JitterNs int64
+}
+
+// faultOutcome is the measured response of one faulted run.
+type faultOutcome struct {
+	MaxQueueBits    float64
+	Queue           stats.Series
+	DroppedFrames   uint64
+	Utilization     float64
+	FeedbackDropped uint64
+	FeedbackDelayed uint64
+	MalformedMsgs   uint64
+}
+
+// x5Seed fixes the fault plan; the README reproduction instructions quote
+// it, so changing it invalidates the documented byte-identical outputs.
+const x5Seed = 7
+
+// FaultTolerance is experiment X5: how much feedback degradation does
+// BCN's strong stability survive? The validation scenario (premises of
+// Theorem 1 satisfied, bound ≈ B/2) is re-run under a grid of feedback
+// loss × delay jitter injected by internal/faults, and the observed peak
+// queue is compared against the Theorem 1 guarantee — which assumes an
+// ideal feedback path and therefore degrades as the loop starves. The
+// sweep itself runs through the hardened pipeline: per-point deadlines,
+// event budgets and continue-on-error, so a pathological point degrades
+// to a summarized failure instead of killing the study.
+func FaultTolerance() (*Report, error) {
+	baseCfg, p := workload.ValidationScenario()
+	baseCfg.PreAssociate = true
+	const duration = 0.04
+
+	losses := []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6}
+	jitters := []int64{0, 20_000, 100_000} // ns: 0, 20 µs, 100 µs
+
+	rep := &Report{
+		ID:    "x5",
+		Title: "Fault tolerance: strong stability under feedback loss and jitter",
+		Description: "Peak queue of the validation scenario under injected BCN feedback loss × " +
+			"delay jitter (internal/faults, seed 7), against the Theorem 1 bound that assumes " +
+			"an ideal feedback path.",
+	}
+
+	var points []faultPoint
+	for _, j := range jitters {
+		for _, l := range losses {
+			points = append(points, faultPoint{Loss: l, JitterNs: j})
+		}
+	}
+
+	eval := func(ctx context.Context, pt faultPoint) (faultOutcome, error) {
+		cfg := baseCfg
+		cfg.Faults = &faults.Config{
+			Seed:             x5Seed,
+			FeedbackLoss:     pt.Loss,
+			FeedbackJitterNs: pt.JitterNs,
+		}
+		cfg.MaxEvents = 2_000_000 // ~100× the healthy event count
+		net, err := netsim.New(cfg)
+		if err != nil {
+			return faultOutcome{}, err
+		}
+		res, err := net.RunContext(ctx, duration)
+		if err != nil {
+			return faultOutcome{}, err
+		}
+		return faultOutcome{
+			MaxQueueBits:    res.MaxQueueBits,
+			Queue:           res.Queue,
+			DroppedFrames:   res.DroppedFrames,
+			Utilization:     res.Utilization,
+			FeedbackDropped: res.Faults.FeedbackDropped,
+			FeedbackDelayed: res.Faults.FeedbackDelayed,
+			MalformedMsgs:   res.MalformedMsgs,
+		}, nil
+	}
+
+	results, sweepErr := sweep.Run(context.Background(), points, eval, sweep.Options{
+		PointTimeout:    time.Minute,
+		ContinueOnError: true,
+	})
+
+	bound := core.Theorem1Bound(p)
+	rep.AddNumber("theorem 1 bound", bound, "bits")
+	rep.AddNumber("buffer B", p.B, "bits")
+
+	table := Table{
+		Name:   "faulted runs",
+		Header: []string{"loss", "jitter_us", "max_q_bits", "margin_vs_B", "within_thm1", "drops", "fb_dropped", "err"},
+	}
+	// One peak-queue curve per jitter level.
+	chart := plot.NewChart("Peak queue vs feedback loss", "feedback loss probability", "peak queue (bits)")
+	curves := make(map[int64]*plot.Series, len(jitters))
+	for _, j := range jitters {
+		curves[j] = &plot.Series{Name: fmt.Sprintf("jitter %d µs", j/1000)}
+	}
+	var failed int
+	for i, r := range results {
+		pt := points[i]
+		if r.Err != nil {
+			failed++
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprintf("%.2f", pt.Loss), fmt.Sprintf("%d", pt.JitterNs/1000),
+				"-", "-", "-", "-", "-", r.Err.Error(),
+			})
+			continue
+		}
+		o := r.Value
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%.2f", pt.Loss),
+			fmt.Sprintf("%d", pt.JitterNs/1000),
+			fmt.Sprintf("%.0f", o.MaxQueueBits),
+			fmt.Sprintf("%.3f", (p.B-o.MaxQueueBits)/p.B),
+			fmt.Sprintf("%t", o.MaxQueueBits <= bound),
+			fmt.Sprintf("%d", o.DroppedFrames),
+			fmt.Sprintf("%d", o.FeedbackDropped),
+			"",
+		})
+		curves[pt.JitterNs].X = append(curves[pt.JitterNs].X, pt.Loss)
+		curves[pt.JitterNs].Y = append(curves[pt.JitterNs].Y, o.MaxQueueBits)
+	}
+	rep.Tables = append(rep.Tables, table)
+	for _, j := range jitters {
+		chart.Add(*curves[j])
+	}
+	chart.AddHLine(bound, "theorem 1 bound", "#009e73")
+	chart.AddHLine(p.B, "buffer B", "#d55e00")
+	rep.Charts = append(rep.Charts, NamedChart{Name: "peakq", Chart: chart})
+	rep.AddNumber("failed points", float64(failed), "")
+	if sweepErr != nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("DEGRADED: %d/%d points failed; first error: %v",
+			failed, len(points), sweepErr))
+	}
+
+	// Self-check: at zero injected faults the sweep must reproduce the
+	// validation result — same NRMSE agreement with the fluid model.
+	if clean := results[0]; clean.Err == nil && points[0].Loss == 0 && points[0].JitterNs == 0 {
+		nrmse, err := fluidNRMSE(baseCfg, p, duration, clean.Value.Queue)
+		if err != nil {
+			return nil, fmt.Errorf("x5: %w", err)
+		}
+		rep.AddNumber("NRMSE vs fluid at zero faults", nrmse, "")
+		if nrmse > 0.35 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"UNEXPECTED: zero-fault NRMSE %.3f above 0.35 — fault plumbing perturbed the clean path?", nrmse))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"Theorem 1 presumes every σ sample reaches its reaction point; injected loss thins the "+
+			"effective feedback rate and jitter stales it, so the guaranteed peak erodes gracefully "+
+			"rather than cliffing — the margin column tracks how much of the buffer headroom survives")
+	return rep, nil
+}
+
+// fluidNRMSE integrates the fluid model of the scenario and returns the
+// NRMSE of the packet queue trajectory against it (the validation
+// experiment's agreement metric).
+func fluidNRMSE(cfg netsim.Config, p core.Params, duration float64, packetQ stats.Series) (float64, error) {
+	y0 := float64(p.N)*cfg.InitialRate - p.C
+	opts := ode.DefaultOptions()
+	opts.MaxStep = duration / 2000
+	sol, err := ode.DormandPrince(p.FluidRHS(), 0, []float64{-p.Q0, y0}, duration, opts)
+	if err != nil {
+		return 0, fmt.Errorf("fluid integration: %w", err)
+	}
+	fluidQ := make([]float64, sol.Len())
+	for i := range fluidQ {
+		q := sol.Y[i][0] + p.Q0
+		if q < 0 {
+			q = 0
+		}
+		fluidQ[i] = q
+	}
+	fluid, err := stats.NewSeries(sol.T, fluidQ)
+	if err != nil {
+		return 0, err
+	}
+	return stats.NRMSE(fluid, packetQ, 512)
+}

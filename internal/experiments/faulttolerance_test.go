@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFaultToleranceDeterministicAndCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point packet sweep")
+	}
+	a, err := FaultTolerance()
+	if err != nil {
+		t.Fatalf("FaultTolerance: %v", err)
+	}
+	if n, ok := a.Number("failed points"); !ok || n != 0 {
+		t.Fatalf("failed points = %v (reported %t), want 0", n, ok)
+	}
+	// At zero injected faults the sweep must reproduce the validation
+	// experiment's fluid agreement.
+	nrmse, ok := a.Number("NRMSE vs fluid at zero faults")
+	if !ok {
+		t.Fatal("zero-fault NRMSE self-check missing")
+	}
+	if nrmse > 0.2 {
+		t.Errorf("zero-fault NRMSE = %.3f, want < 0.2 (validation tolerance)", nrmse)
+	}
+	// Degradation must be visible: the heaviest-loss row should have a
+	// smaller buffer margin than the clean row.
+	tbl := a.Tables[0]
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	mFirst, err1 := strconv.ParseFloat(first[3], 64) // margin_vs_B column
+	mLast, err2 := strconv.ParseFloat(last[3], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("margin columns unparsable: %q %q", first[3], last[3])
+	}
+	if mFirst <= mLast {
+		t.Errorf("margin did not shrink under faults: clean %v vs worst %v", mFirst, mLast)
+	}
+
+	// Same-seed reruns must be byte-identical: summary text and SVGs.
+	b, err := FaultTolerance()
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if a.Text() != b.Text() {
+		t.Error("summary text differs between identical runs")
+	}
+	if len(a.Charts) != len(b.Charts) {
+		t.Fatalf("chart count differs: %d vs %d", len(a.Charts), len(b.Charts))
+	}
+	for i := range a.Charts {
+		var sa, sb bytes.Buffer
+		if err := a.Charts[i].Chart.Render(&sa); err != nil {
+			t.Fatalf("render a: %v", err)
+		}
+		if err := b.Charts[i].Chart.Render(&sb); err != nil {
+			t.Fatalf("render b: %v", err)
+		}
+		if !bytes.Equal(sa.Bytes(), sb.Bytes()) {
+			t.Errorf("chart %q SVG differs between identical runs", a.Charts[i].Name)
+		}
+	}
+	if !strings.Contains(a.Text(), "== x5:") {
+		t.Error("summary missing the x5 header")
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSafeRunRecoversPanic(t *testing.T) {
+	rep, err := SafeRun(Entry{ID: "boom", Run: func() (*Report, error) {
+		panic("synthetic failure")
+	}})
+	if rep != nil {
+		t.Error("panicking runner returned a report")
+	}
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("panic not surfaced as error: %v", err)
+	}
+}
+
+func TestSafeRunPassesThrough(t *testing.T) {
+	want := &Report{ID: "ok"}
+	sentinel := errors.New("plain failure")
+	rep, err := SafeRun(Entry{ID: "ok", Run: func() (*Report, error) { return want, nil }})
+	if rep != want || err != nil {
+		t.Errorf("healthy runner mangled: %v, %v", rep, err)
+	}
+	rep, err = SafeRun(Entry{ID: "bad", Run: func() (*Report, error) { return nil, sentinel }})
+	if rep != nil || !errors.Is(err, sentinel) {
+		t.Errorf("plain error mangled: %v, %v", rep, err)
+	}
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -164,23 +165,41 @@ func Registry() []Entry {
 		{"fairness", Fairness, "flow fairness vs sampling: BCN starvation vs QCN self-increase"},
 		{"delay", DelaySensitivity, "propagation-delay sensitivity of the fluid approximation"},
 		{"paperscale", PaperScale, "packet-level replay of the Theorem 1 example"},
+		{"x5", FaultTolerance, "strong stability under feedback loss × delay jitter"},
 	}
 }
 
-// RunAll executes every experiment and writes its artifacts under dir,
-// returning the combined textual summary.
+// SafeRun executes one experiment with panic recovery, so a crashing
+// runner degrades to an error instead of killing the whole batch.
+func SafeRun(e Entry) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.Run()
+}
+
+// RunAll executes every experiment and writes each completed one's
+// artifacts under dir, returning the combined textual summary. A failing
+// (or panicking) experiment no longer aborts the batch: its failure is
+// summarized in place, the remaining experiments still run, and the
+// joined error of every failure is returned alongside the summary.
 func RunAll(dir string) (string, error) {
 	var b strings.Builder
+	var errs []error
 	for _, e := range Registry() {
-		rep, err := e.Run()
-		if err != nil {
-			return b.String(), fmt.Errorf("experiment %s: %w", e.ID, err)
+		rep, err := SafeRun(e)
+		if err == nil {
+			err = rep.WriteFiles(dir)
 		}
-		if err := rep.WriteFiles(dir); err != nil {
-			return b.String(), err
+		if err != nil {
+			errs = append(errs, fmt.Errorf("experiment %s: %w", e.ID, err))
+			fmt.Fprintf(&b, "== %s: FAILED ==\n  error: %v\n\n", e.ID, err)
+			continue
 		}
 		b.WriteString(rep.Text())
 		b.WriteString("\n")
 	}
-	return b.String(), nil
+	return b.String(), errors.Join(errs...)
 }

@@ -224,8 +224,12 @@ func (rp *RateRegulator) Tag() bcn.CPID { return rp.cpid }
 // Updates returns the number of advertisements applied.
 func (rp *RateRegulator) Updates() uint64 { return rp.updates }
 
-// OnMessage obeys an advertised rate.
+// OnMessage obeys an advertised rate. Malformed messages (nil or
+// non-finite advertisements) are ignored defensively.
 func (rp *RateRegulator) OnMessage(m *bcn.Message, _ float64) {
+	if m == nil || math.IsNaN(m.Sigma) || math.IsInf(m.Sigma, 0) {
+		return
+	}
 	if m.Sigma <= 0 {
 		return // FERA messages always carry a positive rate
 	}
@@ -327,8 +331,12 @@ func (rp *E2CMRegulator) Tag() bcn.CPID { return rp.cpid }
 // Stats returns (decreases, advertisement moves).
 func (rp *E2CMRegulator) Stats() (dec, adv uint64) { return rp.decreases, rp.advances }
 
-// OnMessage applies either branch of the hybrid.
+// OnMessage applies either branch of the hybrid. Malformed messages (nil
+// or non-finite feedback) are ignored defensively.
 func (rp *E2CMRegulator) OnMessage(m *bcn.Message, _ float64) {
+	if m == nil || math.IsNaN(m.Sigma) || math.IsInf(m.Sigma, 0) {
+		return
+	}
 	switch {
 	case m.Sigma < 0:
 		rp.decreases++

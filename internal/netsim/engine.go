@@ -6,6 +6,20 @@
 // the fluid model — the paper's own experiments ran on testbeds and
 // simulators we do not have, so this package is the substituted
 // equivalent.
+//
+// # Determinism contract
+//
+// Two runs with the same Config produce identical results: event
+// timestamps are integer nanoseconds, same-time events run in scheduling
+// order (FIFO tie-break), and every random decision — source start-offset
+// desynchronization and any injected fault (Config.Faults) — is drawn
+// from seeded generators derived from Config.Seed and Faults.Seed.
+// A zero seed selects a fixed default seed rather than disabling
+// randomization, so the zero Config still names exactly one reproducible
+// run; set an explicit nonzero seed to get a different draw. Wall-clock
+// and context budgets (Config.MaxWallClock, RunContext cancellation)
+// are the only nondeterministic inputs, and they only decide where a run
+// stops early — never how the simulated system behaves up to that point.
 package netsim
 
 import (
@@ -22,8 +36,22 @@ type Nanos int64
 func (n Nanos) Seconds() float64 { return float64(n) / 1e9 }
 
 // FromSeconds converts float seconds to a timestamp, rounding to the
-// nearest nanosecond.
-func FromSeconds(s float64) Nanos { return Nanos(math.Round(s * 1e9)) }
+// nearest nanosecond and saturating at the representable range (an
+// out-of-range float-to-int conversion is implementation-defined in Go,
+// and extreme Config values must degrade to a clamped horizon, not to a
+// negative timestamp).
+func FromSeconds(s float64) Nanos {
+	ns := math.Round(s * 1e9)
+	switch {
+	case math.IsNaN(ns):
+		return 0
+	case ns >= math.MaxInt64:
+		return Nanos(math.MaxInt64)
+	case ns <= math.MinInt64:
+		return Nanos(math.MinInt64)
+	}
+	return Nanos(ns)
+}
 
 // ErrNegativeDelay is returned when scheduling into the past.
 var ErrNegativeDelay = errors.New("netsim: negative delay")
@@ -104,7 +132,21 @@ func (s *Sim) After(d Nanos, fn func()) error {
 // Run executes events in order until the queue is empty or the next event
 // is after `until`; the clock finishes at min(until, last event time)
 // advanced to `until`.
-func (s *Sim) Run(until Nanos) {
+func (s *Sim) Run(until Nanos) { _ = s.RunChecked(until, 0, nil) }
+
+// RunChecked is Run with a cooperative abort hook: every `every` processed
+// events (and once before the first) it calls check, and a non-nil check
+// error stops the run immediately with the clock left at the last executed
+// event. It returns that error, or nil when the run completed. A zero
+// `every` or nil check degenerates to Run. The hook is how runaway
+// scenarios are bounded (context cancellation, event and wall-clock
+// budgets) without sacrificing determinism of the simulated system.
+func (s *Sim) RunChecked(until Nanos, every uint64, check func() error) error {
+	if check != nil && every > 0 {
+		if err := check(); err != nil {
+			return err
+		}
+	}
 	for len(s.events) > 0 {
 		next := s.events[0]
 		if next.at > until {
@@ -117,10 +159,16 @@ func (s *Sim) Run(until Nanos) {
 		s.now = popped.at
 		s.processed++
 		popped.fn()
+		if check != nil && every > 0 && s.processed%every == 0 {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 	}
 	if s.now < until {
 		s.now = until
 	}
+	return nil
 }
 
 // Step executes exactly one event if any is pending, returning whether an

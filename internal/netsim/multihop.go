@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"bcnphase/internal/bcn"
 	"bcnphase/internal/qcn"
@@ -61,6 +63,12 @@ type MultihopConfig struct {
 
 	// SampleEvery sets the recorder period (default duration/1000).
 	SampleEvery Nanos
+
+	// MaxEvents and MaxWallClock bound a run exactly as the dumbbell
+	// Config fields do; zero means unbounded. An exhausted budget aborts
+	// RunContext with a partial MultihopResult.
+	MaxEvents    uint64
+	MaxWallClock time.Duration
 }
 
 // Validate checks the scenario.
@@ -473,6 +481,13 @@ type MultihopResult struct {
 
 // Run executes the scenario for duration seconds.
 func (n *MultihopNetwork) Run(duration float64) (*MultihopResult, error) {
+	return n.RunContext(context.Background(), duration)
+}
+
+// RunContext is Run with cooperative cancellation and the Config budgets
+// (MaxEvents, MaxWallClock); an aborted run returns the partial result
+// collected so far alongside the cause.
+func (n *MultihopNetwork) RunContext(ctx context.Context, duration float64) (*MultihopResult, error) {
 	if duration <= 0 {
 		return nil, errors.New("netsim: duration must be positive")
 	}
@@ -493,6 +508,8 @@ func (n *MultihopNetwork) Run(duration float64) (*MultihopResult, error) {
 	if err := n.sim.At(0, func() { n.mhSend(n.victim) }); err != nil {
 		return nil, err
 	}
+	// The first sample is taken synchronously so an aborted run still
+	// yields non-empty series.
 	var rec func()
 	rec = func() {
 		n.recT = append(n.recT, n.sim.Now().Seconds())
@@ -500,10 +517,10 @@ func (n *MultihopNetwork) Run(duration float64) (*MultihopResult, error) {
 		n.recQE = append(n.recQE, n.edge.bits)
 		_ = n.sim.After(sampleEvery, rec)
 	}
-	if err := n.sim.At(0, rec); err != nil {
-		return nil, err
-	}
-	n.sim.Run(until)
+	rec()
+
+	check, every := budgetCheck(ctx, n.sim, n.cfg.MaxEvents, n.cfg.MaxWallClock)
+	runErr := n.sim.RunChecked(until, every, check)
 
 	qa, err := stats.NewSeries(n.recT, n.recQA)
 	if err != nil {
@@ -513,10 +530,14 @@ func (n *MultihopNetwork) Run(duration float64) (*MultihopResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: %w", err)
 	}
-	victimTp := n.victimDelivered / duration
-	return &MultihopResult{
+	elapsed := n.sim.Now().Seconds()
+	if elapsed <= 0 {
+		elapsed = duration
+	}
+	victimTp := n.victimDelivered / elapsed
+	res := &MultihopResult{
 		VictimThroughput:    victimTp,
-		HotThroughput:       n.hotDelivered / duration,
+		HotThroughput:       n.hotDelivered / elapsed,
 		VictimShare:         victimTp / n.cfg.VictimRate,
 		DropsEdge:           n.edge.drops,
 		DropsA:              n.portA.drops,
@@ -527,5 +548,9 @@ func (n *MultihopNetwork) Run(duration float64) (*MultihopResult, error) {
 		QueueA:              qa,
 		QueueEdge:           qe,
 		Events:              n.sim.Processed(),
-	}, nil
+	}
+	if runErr != nil {
+		return res, fmt.Errorf("netsim: run aborted at t=%.6fs: %w", elapsed, runErr)
+	}
+	return res, nil
 }

@@ -1,14 +1,17 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"bcnphase/internal/bcn"
+	"bcnphase/internal/faults"
 	"bcnphase/internal/fera"
 	"bcnphase/internal/qcn"
 	"bcnphase/internal/stats"
@@ -141,9 +144,27 @@ type Config struct {
 	// SampleEvery sets the recorder period (default: 1000 samples over
 	// the run, set by Run).
 	SampleEvery Nanos
-	// Seed randomizes source start offsets within one frame time to
-	// break phase lock; 0 keeps all sources synchronized.
+	// Seed seeds the start-offset desynchronization: each source's first
+	// send is shifted by a uniform draw within one frame time (capped at
+	// 1 s) to break phase lock. Zero selects a fixed default seed rather
+	// than disabling randomization, so the zero Config still names
+	// exactly one reproducible run; see the package comment for the
+	// determinism contract.
 	Seed int64
+
+	// Faults optionally injects seeded, deterministic faults into the
+	// control loop and data path (feedback loss/jitter/reorder/
+	// corruption, data-frame loss, capacity flaps, sampling blackouts);
+	// nil injects nothing. See internal/faults.
+	Faults *faults.Config
+	// MaxEvents bounds the number of simulator events one run may
+	// process; 0 means unbounded. An exhausted budget aborts the run
+	// with ErrEventBudget and a partial Result.
+	MaxEvents uint64
+	// MaxWallClock bounds the real time one run may take; 0 means
+	// unbounded. An elapsed budget aborts the run with ErrWallClock and
+	// a partial Result.
+	MaxWallClock time.Duration
 	// PreAssociate tags every source with the congestion point from
 	// t = 0 so positive feedback flows immediately (the fluid model's
 	// continuous-feedback assumption); without it sources only begin
@@ -153,6 +174,11 @@ type Config struct {
 
 // Validate checks the scenario.
 func (c Config) Validate() error {
+	if !finiteAll(c.Capacity, c.LineRate, c.FrameBits, c.BufferBits,
+		c.InitialRate, c.Q0, c.Qsc, c.W, c.Pm, c.Ru, c.Gi, c.Gd,
+		c.MinRate, c.PauseLowBits) {
+		return fmt.Errorf("netsim: non-finite scenario parameter")
+	}
 	switch {
 	case c.N <= 0:
 		return fmt.Errorf("netsim: N=%d must be positive", c.N)
@@ -198,8 +224,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("netsim: InitialRates has %d entries, want N=%d", len(c.InitialRates), c.N)
 	}
 	for i, r := range c.InitialRates {
-		if !(r > 0) {
-			return fmt.Errorf("netsim: InitialRates[%d]=%v must be positive", i, r)
+		if !(r > 0) || math.IsInf(r, 0) {
+			return fmt.Errorf("netsim: InitialRates[%d]=%v must be positive and finite", i, r)
 		}
 	}
 	for i, st := range c.StartTimes {
@@ -207,7 +233,23 @@ func (c Config) Validate() error {
 			return fmt.Errorf("netsim: StartTimes[%d]=%d must be non-negative", i, st)
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("netsim: %w", err)
+		}
+	}
 	return nil
+}
+
+// finiteAll reports whether every argument is a finite float (NaN and
+// ±Inf scenario parameters must fail validation, not poison a run).
+func finiteAll(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // frame is one data frame in flight or queued.
@@ -249,8 +291,9 @@ func (s *Source) RateAt(now float64) float64 {
 
 // Network is an instantiated scenario.
 type Network struct {
-	cfg Config
-	sim *Sim
+	cfg  Config
+	sim  *Sim
+	plan *faults.Plan // nil when Config.Faults is nil
 
 	sources []*Source
 	cp      CongestionController // nil when the control loop is disabled
@@ -260,6 +303,9 @@ type Network struct {
 	busy      bool
 
 	pauseAsserted bool
+
+	malformedMsgs    uint64
+	misdeliveredMsgs uint64
 
 	deliveredBits   float64
 	deliveredFrames uint64
@@ -295,6 +341,13 @@ func New(cfg Config) (*Network, error) {
 		sim:         NewSim(),
 		macToSource: make(map[bcn.MAC]int, cfg.N),
 		minAfterQ0:  cfg.BufferBits,
+	}
+	if cfg.Faults != nil {
+		plan, err := faults.NewPlan(*cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: %w", err)
+		}
+		n.plan = plan
 	}
 	var fbScale float64
 	if cfg.BCN {
@@ -454,6 +507,18 @@ type Result struct {
 	// JainIndex is Jain's fairness index over per-source sent bits:
 	// (Σx)²/(n·Σx²); 1 is perfectly fair.
 	JainIndex float64
+	// Faults counts the faults actually injected (zero when
+	// Config.Faults is nil).
+	Faults faults.Stats
+	// MalformedMsgs counts feedback frames the receiver rejected at
+	// decode or validation (nonzero only under corruption faults).
+	MalformedMsgs uint64
+	// MisdeliveredMsgs counts feedback frames whose destination MAC
+	// matched no source (a corrupted address field).
+	MisdeliveredMsgs uint64
+	// SimSeconds is the simulated time actually covered; it is shorter
+	// than the requested duration when a run was aborted by a budget.
+	SimSeconds float64
 }
 
 // sojournStats returns the mean and 99th-percentile of the sojourn
@@ -491,9 +556,65 @@ func jainIndex(x []float64) float64 {
 	return sum * sum / (float64(len(x)) * sumSq)
 }
 
+// Budget errors returned (wrapped) by RunContext alongside a partial
+// Result.
+var (
+	// ErrEventBudget signals that Config.MaxEvents was exhausted.
+	ErrEventBudget = errors.New("netsim: event budget exceeded")
+	// ErrWallClock signals that Config.MaxWallClock elapsed.
+	ErrWallClock = errors.New("netsim: wall-clock budget exceeded")
+)
+
+// defaultSeed stands in for Config.Seed == 0 so the zero Config still
+// denotes one fixed, reproducible draw of start offsets rather than a
+// special synchronized mode.
+const defaultSeed int64 = 0x62636e73 // "bcns"
+
+// budgetCheckEvery is how many events pass between budget checks; small
+// enough to abort promptly, large enough to keep time.Now off the hot
+// path.
+const budgetCheckEvery uint64 = 1024
+
+// budgetCheck builds the RunChecked hook enforcing context cancellation
+// and the event / wall-clock budgets; it returns (nil, 0) when nothing
+// is bounded so the engine skips checking entirely.
+func budgetCheck(ctx context.Context, sim *Sim, maxEvents uint64, maxWall time.Duration) (func() error, uint64) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() == nil && maxEvents == 0 && maxWall <= 0 {
+		return nil, 0
+	}
+	var deadline time.Time
+	if maxWall > 0 {
+		deadline = time.Now().Add(maxWall)
+	}
+	return func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if maxEvents > 0 && sim.Processed() >= maxEvents {
+			return fmt.Errorf("%w: %d events", ErrEventBudget, sim.Processed())
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("%w after %v", ErrWallClock, maxWall)
+		}
+		return nil
+	}, budgetCheckEvery
+}
+
 // Run executes the scenario for the given duration (seconds) and returns
 // the collected result. Run may be called once per Network.
 func (n *Network) Run(duration float64) (*Result, error) {
+	return n.RunContext(context.Background(), duration)
+}
+
+// RunContext is Run with cooperative cancellation: the run aborts when
+// ctx is cancelled or a Config budget (MaxEvents, MaxWallClock) is
+// exceeded. An aborted run returns the partial Result collected so far
+// alongside the cause (ctx.Err(), ErrEventBudget or ErrWallClock) —
+// callers that can use a truncated trajectory get one instead of a hang.
+func (n *Network) RunContext(ctx context.Context, duration float64) (*Result, error) {
 	if duration <= 0 {
 		return nil, errors.New("netsim: duration must be positive")
 	}
@@ -506,22 +627,32 @@ func (n *Network) Run(duration float64) (*Result, error) {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(n.cfg.Seed))
-	frameTime := FromSeconds(n.cfg.FrameBits / n.cfg.Capacity)
+	seed := n.cfg.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	rng := rand.New(rand.NewSource(seed))
+	window := int64(FromSeconds(n.cfg.FrameBits / n.cfg.Capacity))
+	const maxWindow = int64(1e9) // cap desync jitter at 1 s
+	if window > maxWindow {
+		window = maxWindow
+	}
+	if window < 0 {
+		window = 0
+	}
 	for i, src := range n.sources {
 		offset := Nanos(0)
 		if n.cfg.StartTimes != nil {
 			offset = n.cfg.StartTimes[i]
 		}
-		if n.cfg.Seed != 0 {
-			offset += Nanos(rng.Int63n(int64(frameTime) + 1))
-		}
+		offset += Nanos(rng.Int63n(window + 1))
 		s := src
 		if err := n.sim.At(offset, func() { n.sourceSend(s) }); err != nil {
 			return nil, err
 		}
 	}
-	// Recorder.
+	// Recorder: the first sample is taken synchronously so even a run
+	// aborted before its first event yields a non-empty series.
 	var rec func()
 	rec = func() {
 		n.recT = append(n.recT, n.sim.Now().Seconds())
@@ -534,11 +665,10 @@ func (n *Network) Run(duration float64) (*Result, error) {
 		n.recRate = append(n.recRate, agg)
 		_ = n.sim.After(sampleEvery, rec)
 	}
-	if err := n.sim.At(0, rec); err != nil {
-		return nil, err
-	}
+	rec()
 
-	n.sim.Run(until)
+	check, every := budgetCheck(ctx, n.sim, n.cfg.MaxEvents, n.cfg.MaxWallClock)
+	runErr := n.sim.RunChecked(until, every, check)
 
 	qs, err := stats.NewSeries(n.recT, n.recQ)
 	if err != nil {
@@ -547,6 +677,12 @@ func (n *Network) Run(duration float64) (*Result, error) {
 	rs, err := stats.NewSeries(n.recT, n.recRate)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: rate series: %w", err)
+	}
+	// Normalize throughput by the time actually simulated, so a partial
+	// result is still internally consistent.
+	elapsed := n.sim.Now().Seconds()
+	if elapsed <= 0 {
+		elapsed = duration
 	}
 	perSource := make([]float64, len(n.sources))
 	for i, src := range n.sources {
@@ -560,16 +696,23 @@ func (n *Network) Run(duration float64) (*Result, error) {
 		DroppedFrames:     n.droppedFrames,
 		DroppedBits:       n.droppedBits,
 		DeliveredBits:     n.deliveredBits,
-		Throughput:        n.deliveredBits / duration,
-		Utilization:       n.deliveredBits / duration / n.cfg.Capacity,
+		Throughput:        n.deliveredBits / elapsed,
+		Utilization:       n.deliveredBits / elapsed / n.cfg.Capacity,
 		PausesSent:        n.pausesSent,
 		Events:            n.sim.Processed(),
 		PerSourceSentBits: perSource,
 		JainIndex:         jainIndex(perSource),
+		Faults:            n.plan.Stats(),
+		MalformedMsgs:     n.malformedMsgs,
+		MisdeliveredMsgs:  n.misdeliveredMsgs,
+		SimSeconds:        elapsed,
 	}
 	res.MeanSojourn, res.P99Sojourn = sojournStats(n.sojourns)
 	if n.cp != nil {
 		res.CPSamples, res.PosMessages, res.NegMessages = n.cp.Stats()
+	}
+	if runErr != nil {
+		return res, fmt.Errorf("netsim: run aborted at t=%.6fs: %w", elapsed, runErr)
 	}
 	return res, nil
 }
@@ -600,8 +743,13 @@ func (n *Network) sourceSend(src *Source) {
 	if src.sendObs != nil {
 		src.sendObs.OnSend(f.bits)
 	}
-	// Frame reaches the bottleneck after the propagation delay.
-	_ = n.sim.After(n.cfg.PropDelay, func() { n.switchArrive(f) })
+	// Frame reaches the bottleneck after the propagation delay — unless
+	// the fault plan loses it on the link.
+	if n.plan.DropData() {
+		n.trace("x src=%d bits=%.0f", src.id, f.bits)
+	} else {
+		_ = n.sim.After(n.cfg.PropDelay, func() { n.switchArrive(f) })
+	}
 	// Next departure paced by the current rate.
 	gap := FromSeconds(n.cfg.FrameBits / src.RateAt(n.sim.Now().Seconds()))
 	if gap < 1 {
@@ -628,7 +776,13 @@ func (n *Network) switchArrive(f frame) {
 		src := n.sources[f.src]
 		msg := n.cp.OnArrival(bcn.Arrival{SizeBits: f.bits, Src: src.mac, RRT: f.rrt})
 		if msg != nil {
-			n.deliverBCN(msg)
+			// Sampling blackouts suppress the generated feedback while
+			// the congestion point's queue accounting continues.
+			if n.plan.SampleBlanked(int64(n.sim.Now())) {
+				n.trace("b sigma=%.0f", msg.Sigma)
+			} else {
+				n.deliverBCN(msg)
+			}
 		}
 	}
 	n.trackTrough()
@@ -648,7 +802,9 @@ func (n *Network) serveNext() {
 		return
 	}
 	f := n.queue[0]
-	txTime := FromSeconds(f.bits / n.cfg.Capacity)
+	// Capacity flaps scale the service rate for the frame's duration.
+	capacity := n.cfg.Capacity * n.plan.CapacityScale(int64(n.sim.Now()))
+	txTime := FromSeconds(f.bits / capacity)
 	if txTime < 1 {
 		txTime = 1
 	}
@@ -675,19 +831,35 @@ func (n *Network) serveNext() {
 
 // deliverBCN marshals the message onto the wire and schedules its decoded
 // delivery at the source after the propagation delay, exercising the full
-// encode/decode path including feedback quantization.
+// encode/decode path including feedback quantization. The fault plan may
+// drop the frame, add jitter/reorder delay, or flip a wire bit; the
+// receiver rejects frames that fail decoding or validation.
 func (n *Network) deliverBCN(msg *bcn.Message) {
 	data, err := msg.MarshalBinary()
 	if err != nil {
 		return // cannot happen with a well-formed message
 	}
-	_ = n.sim.After(n.cfg.PropDelay, func() {
+	if n.plan.DropFeedback() {
+		n.trace("fd sigma=%.0f", msg.Sigma)
+		return
+	}
+	if n.plan.CorruptFeedback(data) {
+		n.trace("fc sigma=%.0f", msg.Sigma)
+	}
+	delay := n.cfg.PropDelay + Nanos(n.plan.FeedbackDelayNs())
+	_ = n.sim.After(delay, func() {
 		var rx bcn.Message
 		if err := rx.UnmarshalBinary(data); err != nil {
+			n.malformedMsgs++
+			return
+		}
+		if err := rx.Validate(); err != nil {
+			n.malformedMsgs++
 			return
 		}
 		idx, ok := n.macToSource[rx.DA]
 		if !ok {
+			n.misdeliveredMsgs++
 			return
 		}
 		src := n.sources[idx]

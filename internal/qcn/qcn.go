@@ -273,8 +273,13 @@ func (rp *RateRegulator) Stats() (dec, cycles uint64) {
 	return rp.decreases, rp.cyclesTotal
 }
 
-// OnMessage applies a (always negative) congestion message.
+// OnMessage applies a (always negative) congestion message. Malformed
+// messages (nil or non-finite feedback) are ignored defensively so a
+// corrupted frame cannot NaN the rate.
 func (rp *RateRegulator) OnMessage(m *bcn.Message, _ float64) {
+	if m == nil || math.IsNaN(m.Sigma) || math.IsInf(m.Sigma, 0) {
+		return
+	}
 	if m.Sigma >= 0 {
 		return // QCN has no positive messages; ignore defensively
 	}

@@ -8,10 +8,13 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Func evaluates one point of a sweep.
@@ -21,6 +24,24 @@ type Func[P, R any] func(ctx context.Context, point P) (R, error)
 type Options struct {
 	// Workers bounds the concurrency; 0 defaults to GOMAXPROCS.
 	Workers int
+	// PointTimeout is a hard per-point deadline; 0 means none. The
+	// evaluation's context carries the deadline, and an evaluation that
+	// ignores it is abandoned (it finishes on a background goroutine and
+	// its late result is discarded) so one stuck point cannot hang the
+	// sweep.
+	PointTimeout time.Duration
+	// Retries re-evaluates a failed point up to this many extra times.
+	// Panics and parent-context cancellation are never retried — a panic
+	// is deterministic and a cancelled sweep is over.
+	Retries int
+	// Backoff is the wait before the first retry, doubling per attempt
+	// (default 10ms when Retries > 0).
+	Backoff time.Duration
+	// ContinueOnError keeps evaluating the remaining points after a
+	// failure instead of cancelling them; failed points carry their
+	// error in Result.Err. Run still returns the first error so callers
+	// can tell a degraded sweep from a clean one.
+	ContinueOnError bool
 }
 
 // Result pairs one input point with its output (or error).
@@ -28,13 +49,36 @@ type Result[P, R any] struct {
 	Point P
 	Value R
 	Err   error
+	// Attempts counts evaluations of this point (≥ 1, > 1 after
+	// retries); 0 marks a point never evaluated (sweep cancelled first).
+	Attempts int
+}
+
+// PanicError is the Result.Err of a point whose evaluation panicked: the
+// panic is recovered so the sweep survives, and the value plus stack are
+// preserved for diagnosis.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error describes the recovered panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: evaluation panicked: %v", e.Value)
 }
 
 // Run evaluates fn on every point with at most opts.Workers goroutines,
-// returning results in input order. The first error cancels the context
-// handed to the remaining evaluations, but every point still produces a
-// Result (possibly with Err set, including ctx.Err for cancelled ones);
-// Run itself returns the first error observed, if any.
+// returning results in input order. Evaluations are panic-recovered
+// (PanicError), deadline-bounded (Options.PointTimeout) and retried
+// (Options.Retries), so a single bad point cannot crash or hang the
+// sweep. By default the first error cancels the context handed to the
+// remaining evaluations; with Options.ContinueOnError every point is
+// still evaluated and failures stay local to their Result. Every point
+// produces a Result (possibly with Err set, including ctx.Err for
+// cancelled ones), and Run itself returns the first error observed, if
+// any.
 func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options) ([]Result[P, R], error) {
 	if fn == nil {
 		return nil, fmt.Errorf("sweep: nil evaluation function")
@@ -51,6 +95,7 @@ func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options)
 		return results, nil
 	}
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -63,7 +108,9 @@ func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options)
 		defer mu.Unlock()
 		if firstErr == nil {
 			firstErr = err
-			cancel()
+			if !opts.ContinueOnError {
+				cancel()
+			}
 		}
 	}
 
@@ -79,10 +126,9 @@ func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options)
 					results[i] = Result[P, R]{Point: p, Err: err}
 					continue
 				}
-				v, err := fn(ctx, p)
-				results[i] = Result[P, R]{Point: p, Value: v, Err: err}
-				if err != nil {
-					setErr(err)
+				results[i] = evalPoint(ctx, parent, p, fn, opts)
+				if results[i].Err != nil {
+					setErr(results[i].Err)
 				}
 			}
 		}()
@@ -93,6 +139,77 @@ func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options)
 	close(idx)
 	wg.Wait()
 	return results, firstErr
+}
+
+// evalPoint evaluates one point with the retry-and-backoff policy.
+// parent is the sweep's original context: retries are suppressed once it
+// is cancelled even though the per-sweep ctx may have been cancelled by a
+// sibling failure already recorded.
+func evalPoint[P, R any](ctx, parent context.Context, p P, fn Func[P, R], opts Options) Result[P, R] {
+	res := Result[P, R]{Point: p}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		res.Attempts++
+		res.Value, res.Err = evalOnce(ctx, p, fn, opts.PointTimeout)
+		if res.Err == nil || res.Attempts > opts.Retries || !retryable(res.Err, parent) {
+			return res
+		}
+		select {
+		case <-time.After(backoff):
+			backoff *= 2
+		case <-ctx.Done():
+			return res
+		}
+	}
+}
+
+// retryable reports whether a failure is worth re-evaluating: recovered
+// panics are deterministic and a cancelled sweep is over, so neither
+// retries.
+func retryable(err error, parent context.Context) bool {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return false
+	}
+	return parent.Err() == nil
+}
+
+// evalOnce runs fn once with panic recovery and the optional hard
+// deadline. The evaluation runs on its own goroutine sending into a
+// buffered channel, so when the deadline fires first the point fails
+// with the deadline error while a non-cooperative fn drains harmlessly
+// in the background.
+func evalOnce[P, R any](ctx context.Context, p P, fn Func[P, R], timeout time.Duration) (R, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		v   R
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				var zero R
+				ch <- outcome{zero, &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		v, err := fn(ctx, p)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-ctx.Done():
+		var zero R
+		return zero, ctx.Err()
+	}
 }
 
 // Grid2 builds the cartesian product of two axes as point pairs, row
