@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds check clean
+.PHONY: all build test vet race fuzz-seeds check smoke-resume clean
 
 all: check
 
@@ -24,6 +24,12 @@ fuzz-seeds:
 # The full pre-merge gate: static checks, build, race-enabled tests and
 # the fuzz seed corpora.
 check: vet build race fuzz-seeds
+
+# Kill-and-resume smoke: SIGINT a real bcnsweep run partway, resume it
+# from the journal, and require byte-identical artifacts vs an
+# uninterrupted baseline.
+smoke-resume:
+	./scripts/resume_smoke.sh
 
 clean:
 	rm -rf out

@@ -17,6 +17,7 @@ import (
 	"bcnphase/internal/core"
 	"bcnphase/internal/linear"
 	"bcnphase/internal/plot"
+	"bcnphase/internal/runstate"
 )
 
 func main() {
@@ -133,12 +134,13 @@ func run(args []string, out io.Writer) error {
 		chart.AddVLine(-p.Q0, "q=0", "#cc0000")
 		chart.AddVLine(p.B-p.Q0, "q=B", "#cc0000")
 		chart.AddMarker(plot.Marker{X: 0, Y: 0, Label: "equilibrium", Color: "#009e73"})
-		f, err := os.Create(*svg)
+		// Render fully in memory, then publish atomically: a failed
+		// render or a crash never leaves a truncated SVG behind.
+		doc, err := chart.RenderBytes()
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := chart.Render(f); err != nil {
+		if err := runstate.WriteFileAtomic(*svg, doc, 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "phase portrait written to %s\n", *svg)

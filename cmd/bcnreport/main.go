@@ -1,6 +1,8 @@
 // Command bcnreport regenerates every figure and result of the paper's
 // evaluation into an output directory: SVG charts, CSV series and textual
-// summaries, one set per experiment in DESIGN.md's index.
+// summaries, one set per experiment in DESIGN.md's index. Artifacts are
+// published atomically and SIGINT/SIGTERM stop the batch at the next
+// experiment boundary with the completed artifacts intact.
 //
 // Example:
 //
@@ -8,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,16 +19,24 @@ import (
 	"strings"
 
 	"bcnphase/internal/experiments"
+	"bcnphase/internal/runstate"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop, fired := runstate.TrapSignals(context.Background())
+	err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
+		if fired() || runstate.Interrupted(err) {
+			fmt.Fprintln(os.Stderr, "bcnreport:", err)
+			os.Exit(runstate.ExitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "bcnreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bcnreport", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
 	var (
@@ -43,6 +54,11 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	// Preflight: prove the output directory is usable before burning
+	// minutes of computation on experiments whose artifacts can't land.
+	if err := runstate.EnsureWritableDir(*out); err != nil {
+		return fmt.Errorf("preflight: %w", err)
+	}
 	if *only != "" {
 		for _, e := range experiments.Registry() {
 			if e.ID != *only {
@@ -57,7 +73,7 @@ func run(args []string) error {
 			}
 			if *md {
 				path := filepath.Join(*out, "RESULTS.md")
-				if err := os.WriteFile(path, []byte(rep.Markdown()), 0o644); err != nil {
+				if err := runstate.WriteFileAtomic(path, []byte(rep.Markdown()), 0o644); err != nil {
 					return err
 				}
 			}
@@ -67,27 +83,26 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q (use -list)", *only)
 	}
 	// Completed experiments keep their artifacts and summary even when
-	// some fail; the failures surface in the exit status afterwards.
-	summary, runErr := experiments.RunAll(*out)
+	// some fail or the run is interrupted; failures surface in the exit
+	// status afterwards.
+	summary, reports, runErr := experiments.RunAllContext(ctx, *out)
 	if *md {
 		var b strings.Builder
 		b.WriteString("# Regenerated results\n\n")
-		for _, e := range experiments.Registry() {
-			rep, err := experiments.SafeRun(e)
-			if err != nil {
-				fmt.Fprintf(&b, "## %s\n\nFAILED: %v\n\n", e.ID, err)
-				continue
-			}
+		for _, rep := range reports {
 			b.WriteString(rep.Markdown())
 		}
 		path := filepath.Join(*out, "RESULTS.md")
-		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		if err := runstate.WriteFileAtomic(path, []byte(b.String()), 0o644); err != nil {
 			return err
 		}
 	}
 	fmt.Print(summary)
 	fmt.Printf("artifacts written to %s\n", *out)
 	if runErr != nil {
+		if runstate.Interrupted(runErr) {
+			return runErr
+		}
 		return fmt.Errorf("completed with failures: %w", runErr)
 	}
 	return nil

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"bcnphase/internal/runstate"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-only", "fig4", "-out", dir}); err != nil {
+	if err := run(context.Background(), []string{"-only", "fig4", "-out", dir}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig4_portrait.svg")); err != nil {
@@ -17,26 +20,26 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatalf("run -list: %v", err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-only", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-only", "nope", "-out", t.TempDir()}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-zzz"}); err == nil {
+	if err := run(context.Background(), []string{"-zzz"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunMarkdownSingle(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-only", "fig4", "-out", dir, "-md"}); err != nil {
+	if err := run(context.Background(), []string{"-only", "fig4", "-out", dir, "-md"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "RESULTS.md"))
@@ -45,5 +48,47 @@ func TestRunMarkdownSingle(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty markdown")
+	}
+}
+
+// Preflight: a missing or unusable output directory fails fast with a
+// clear error instead of a late partial failure mid-batch.
+func TestRunPreflightRejectsUnwritableOut(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not_a_dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-only", "fig4", "-out", file})
+	if err == nil {
+		t.Fatal("plain file accepted as output directory")
+	}
+	if runstate.Interrupted(err) {
+		t.Errorf("preflight failure misclassified as interruption: %v", err)
+	}
+}
+
+func TestRunPreflightCreatesMissingOut(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	if err := run(context.Background(), []string{"-only", "fig4", "-out", dir}); err != nil {
+		t.Fatalf("run with missing out dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4_portrait.svg")); err != nil {
+		t.Errorf("artifact missing: %v", err)
+	}
+}
+
+// A pre-cancelled context is reported as "interrupted, resumable", not a
+// generic failure, and leaves no artifacts behind.
+func TestRunInterruptedStatus(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-out", dir})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !runstate.Interrupted(err) {
+		t.Errorf("cancelled run not classified as interrupted: %v", err)
 	}
 }

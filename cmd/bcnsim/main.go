@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,16 +17,24 @@ import (
 
 	"bcnphase/internal/netsim"
 	"bcnphase/internal/plot"
+	"bcnphase/internal/runstate"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop, fired := runstate.TrapSignals(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
+		if fired() || runstate.Interrupted(err) {
+			fmt.Fprintln(os.Stderr, "bcnsim:", err)
+			os.Exit(runstate.ExitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "bcnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcnsim", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
 	var (
@@ -70,21 +79,40 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.PauseDuration = netsim.FromSeconds(50e-6)
 	}
+	// The trace streams during the run, so it goes through an atomic
+	// file: only a committed (complete) trace is published, a crash or
+	// interruption mid-run leaves nothing truncated behind.
+	var traceFile *runstate.AtomicFile
 	if *trace != "" {
-		f, err := os.Create(*trace)
+		af, err := runstate.CreateAtomic(*trace)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		cfg.Trace = f
+		defer af.Abort()
+		traceFile = af
+		cfg.Trace = af
 	}
 	net, err := netsim.New(cfg)
 	if err != nil {
 		return err
 	}
-	res, err := net.Run(*dur)
+	res, err := net.RunContext(ctx, *dur)
 	if err != nil {
+		// An interrupted run drained cooperatively; discard the partial
+		// trace (Abort is deferred) and surface the resumable status.
+		if runstate.Interrupted(err) {
+			at := 0.0
+			if res != nil && len(res.Queue.T) > 0 {
+				at = res.Queue.T[len(res.Queue.T)-1]
+			}
+			return fmt.Errorf("%w: simulation stopped at t=%.6gs of %gs", runstate.ErrInterrupted, at, *dur)
+		}
 		return err
+	}
+	if traceFile != nil {
+		if err := traceFile.Commit(); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "events:      %d\n", res.Events)
@@ -119,7 +147,7 @@ func run(args []string, out io.Writer) error {
 			sb.WriteString(strconv.FormatFloat(res.AggRate.V[i], 'g', 10, 64))
 			sb.WriteByte('\n')
 		}
-		if err := os.WriteFile(*csv, []byte(sb.String()), 0o644); err != nil {
+		if err := runstate.WriteFileAtomic(*csv, []byte(sb.String()), 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "queue series written to %s\n", *csv)

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bcnphase/internal/runstate"
 )
 
 func TestRunDefaults(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-dur", "0.02"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-dur", "0.02"}, &b); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := b.String()
@@ -22,7 +25,7 @@ func TestRunDefaults(t *testing.T) {
 
 func TestRunNoBCNWithPause(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-dur", "0.02", "-nobcn", "-pause"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-dur", "0.02", "-nobcn", "-pause"}, &b); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := b.String()
@@ -37,7 +40,7 @@ func TestRunNoBCNWithPause(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "queue.csv")
 	var b strings.Builder
-	if err := run([]string{"-dur", "0.01", "-csv", path}, &b); err != nil {
+	if err := run(context.Background(), []string{"-dur", "0.01", "-csv", path}, &b); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -55,20 +58,20 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-n", "0"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-n", "0"}, &b); err == nil {
 		t.Error("invalid config accepted")
 	}
-	if err := run([]string{"-dur", "0"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-dur", "0"}, &b); err == nil {
 		t.Error("zero duration accepted")
 	}
-	if err := run([]string{"-bogus"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &b); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunASCII(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-dur", "0.01", "-ascii"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-dur", "0.01", "-ascii"}, &b); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(b.String(), "queue occupancy") {
@@ -82,7 +85,7 @@ func TestRunASCII(t *testing.T) {
 func TestRunTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ev.tr")
 	var b strings.Builder
-	if err := run([]string{"-dur", "0.005", "-trace", path}, &b); err != nil {
+	if err := run(context.Background(), []string{"-dur", "0.005", "-trace", path}, &b); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -91,5 +94,32 @@ func TestRunTrace(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "+ src=") {
 		t.Error("trace missing send events")
+	}
+}
+
+// A cancelled simulation exits with the interrupted classification and
+// publishes neither a truncated CSV nor a truncated trace.
+func TestRunInterruptedLeavesNoPartialArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "q.csv")
+	tr := filepath.Join(dir, "ev.tr")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	err := run(ctx, []string{"-dur", "0.05", "-csv", csv, "-trace", tr}, &b)
+	if err == nil {
+		t.Fatal("cancelled simulation reported success")
+	}
+	if !runstate.Interrupted(err) {
+		t.Fatalf("cancelled simulation not classified interrupted: %v", err)
+	}
+	for _, p := range []string{csv, tr} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("interrupted run published %s", p)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("interrupted run left %d stray files (temp leak?)", len(entries))
 	}
 }

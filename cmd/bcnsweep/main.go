@@ -3,27 +3,47 @@
 // the Theorem 1 sufficient condition, and the stitched-trajectory ground
 // truth.
 //
+// With -resume <dir> the run is crash-safe: every completed grid point is
+// journaled (append-only JSONL WAL keyed by a content hash of the sweep
+// config and point params) before the sweep moves on, SIGINT/SIGTERM
+// drain in-flight points and exit with the distinct "interrupted,
+// resumable" status 130, and re-running with the same -resume dir skips
+// journaled points and replays their cached rows — an interrupted run
+// resumed to completion produces byte-identical output (stdout and
+// <dir>/map.csv) to a never-interrupted one.
+//
 // Example:
 //
-//	bcnsweep -b-over-q0 5 -gi-lo 0.05 -gi-hi 12.8 -steps 12 > map.csv
+//	bcnsweep -b-over-q0 5 -gi-lo 0.05 -gi-hi 12.8 -steps 12 -resume out/run1 > map.csv
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"bcnphase/internal/core"
 	"bcnphase/internal/linear"
+	"bcnphase/internal/runstate"
 	"bcnphase/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop, fired := runstate.TrapSignals(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
+		if fired() || runstate.Interrupted(err) {
+			fmt.Fprintln(os.Stderr, "bcnsweep:", err)
+			os.Exit(runstate.ExitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "bcnsweep:", err)
 		os.Exit(1)
 	}
@@ -34,7 +54,27 @@ type gainPoint struct {
 	Gi, Gd float64
 }
 
-func run(args []string, out io.Writer) error {
+// sweepIdentity fingerprints everything that shapes a row's value, so a
+// journal from a different sweep configuration can never poison a
+// resumed run. Execution knobs (workers, timeout) are deliberately
+// excluded — they do not affect results.
+type sweepIdentity struct {
+	Experiment string
+	Format     int // bump when the CSV row layout changes
+	BOverQ0    float64
+	GiLo, GiHi float64
+	GdLo, GdHi float64
+	Steps      int
+}
+
+const csvHeader = "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho"
+
+// evalHook, when non-nil, observes every fresh (non-replayed) point
+// evaluation; tests use it to count executions and to interrupt the
+// sweep cooperatively partway through.
+var evalHook func(gainPoint)
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcnsweep", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
 	var (
@@ -46,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		steps   = fs.Int("steps", 10, "grid points per axis")
 		workers = fs.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
 		timeout = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
+		resume  = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,7 +107,15 @@ func run(args []string, out io.Writer) error {
 			points = append(points, gainPoint{Gi: gi, Gd: geom(*gdLo, *gdHi, j, *steps)})
 		}
 	}
-	eval := func(_ context.Context, pt gainPoint) (string, error) {
+	eval := func(ctx context.Context, pt gainPoint) (string, error) {
+		if evalHook != nil {
+			evalHook(pt)
+		}
+		// Cooperative cancellation point: a drained point fails with
+		// ctx.Err (and is not journaled) instead of racing the shutdown.
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
 		p := base
 		p.Gi = pt.Gi
 		p.Gd = pt.Gd
@@ -84,29 +133,107 @@ func run(args []string, out io.Writer) error {
 			tr.MaxQueue(), tr.Rho), nil
 	}
 
+	// With -resume, completed points are journaled before the sweep moves
+	// on and replayed (not re-executed) on restart.
+	var (
+		journal *runstate.Journal
+		keyFn   func(gainPoint) string
+	)
+	if *resume != "" {
+		if err := runstate.EnsureWritableDir(*resume); err != nil {
+			return fmt.Errorf("preflight: %w", err)
+		}
+		identity := sweepIdentity{
+			Experiment: "bcnsweep/gainmap",
+			Format:     1,
+			BOverQ0:    *bOverQ0,
+			GiLo:       *giLo, GiHi: *giHi,
+			GdLo: *gdLo, GdHi: *gdHi,
+			Steps: *steps,
+		}
+		fingerprint, err := runstate.HashJSON(identity)
+		if err != nil {
+			return err
+		}
+		journal, err = runstate.OpenJournal(filepath.Join(*resume, runstate.JournalFileName))
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		keyFn = func(pt gainPoint) string {
+			key, err := runstate.HashJSON(struct {
+				FP     string
+				Gi, Gd float64
+			}{fingerprint, pt.Gi, pt.Gd})
+			if err != nil { // unreachable for plain floats; fail closed as a cache miss
+				return fmt.Sprintf("unhashable:%g,%g", pt.Gi, pt.Gd)
+			}
+			return key
+		}
+	}
+
 	// Continue past bad points: every healthy row is still emitted in
 	// grid order, failures are summarized, and the exit status reflects
 	// the degradation.
-	results, _ := sweep.Run(context.Background(), points, eval, sweep.Options{
+	opts := sweep.Options{
 		Workers:         *workers,
 		PointTimeout:    *timeout,
 		ContinueOnError: true,
-	})
+	}
+	var results []sweep.Result[gainPoint, string]
+	if journal != nil {
+		results, _ = sweep.RunCheckpointed(ctx, points, eval, opts, journal, keyFn)
+	} else {
+		results, _ = sweep.Run(ctx, points, eval, opts)
+	}
 
-	fmt.Fprintln(out, "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho")
+	var csv strings.Builder
+	fmt.Fprintln(&csv, csvHeader)
 	var failed []string
+	interrupted := 0
 	for _, r := range results {
-		if r.Err != nil {
+		switch {
+		case r.Err == nil:
+			fmt.Fprintln(&csv, r.Value)
+		case ctx.Err() != nil && runstate.Interrupted(r.Err):
+			// Drained by the run-level shutdown. A per-point deadline
+			// (Options.PointTimeout) also surfaces as a context error but
+			// with the parent context still live — that is a point
+			// failure, not an interruption.
+			interrupted++
+		default:
 			failed = append(failed, fmt.Sprintf("Gi=%g Gd=%g: %v", r.Point.Gi, r.Point.Gd, r.Err))
-			continue
 		}
-		fmt.Fprintln(out, r.Value)
+	}
+	fmt.Fprint(out, csv.String())
+	for _, f := range failed {
+		fmt.Fprintln(os.Stderr, "bcnsweep: point failed:", f)
+	}
+
+	// An interrupted sweep exits resumable without publishing map.csv —
+	// the journal already holds every completed point durably.
+	if ctx.Err() != nil {
+		done := len(points) - interrupted - len(failed)
+		hint := "re-run with -resume to continue"
+		if *resume != "" {
+			hint = fmt.Sprintf("re-run with -resume %s to continue", *resume)
+		}
+		err := fmt.Errorf("%w: %d of %d points done, %d pending (%s)",
+			runstate.ErrInterrupted, done, len(points), interrupted, hint)
+		if len(failed) > 0 {
+			return errors.Join(err, fmt.Errorf("%d points failed (first: %s)", len(failed), failed[0]))
+		}
+		return err
 	}
 	if len(failed) > 0 {
-		for _, f := range failed {
-			fmt.Fprintln(os.Stderr, "bcnsweep: point failed:", f)
-		}
 		return fmt.Errorf("%d of %d grid points failed (first: %s)", len(failed), len(points), failed[0])
+	}
+	// Publish the completed map atomically into the run directory: the
+	// whole sweep either has a complete map.csv or none.
+	if *resume != "" {
+		if err := runstate.WriteFileAtomic(filepath.Join(*resume, "map.csv"), []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

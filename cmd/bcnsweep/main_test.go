@@ -1,17 +1,23 @@
 package main
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"bcnphase/internal/runstate"
 )
 
 func TestRunSweepCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-steps", "3"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-steps", "3"}, &b); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if lines[0] != "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho" {
+	if lines[0] != csvHeader {
 		t.Errorf("header = %q", lines[0])
 	}
 	if len(lines) != 1+3*3 {
@@ -31,13 +37,13 @@ func TestRunSweepCSV(t *testing.T) {
 
 func TestRunSweepErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-steps", "1"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-steps", "1"}, &b); err == nil {
 		t.Error("steps=1 accepted")
 	}
-	if err := run([]string{"-b-over-q0", "0.5"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-b-over-q0", "0.5"}, &b); err == nil {
 		t.Error("B <= q0 accepted")
 	}
-	if err := run([]string{"-nope"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &b); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
@@ -53,25 +59,156 @@ func TestGeom(t *testing.T) {
 
 func TestRunSweepDegradesOnPointTimeout(t *testing.T) {
 	var b strings.Builder
-	err := run([]string{"-steps", "2", "-point-timeout", "1ns"}, &b)
+	err := run(context.Background(), []string{"-steps", "2", "-point-timeout", "1ns"}, &b)
 	if err == nil {
 		t.Fatal("expired per-point deadline reported no error")
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if lines[0] != "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho" {
+	if lines[0] != csvHeader {
 		t.Errorf("header lost on degraded sweep: %q", lines[0])
 	}
 }
 
 func TestRunSweepParallelMatchesSerial(t *testing.T) {
 	var serial, par strings.Builder
-	if err := run([]string{"-steps", "3", "-workers", "1"}, &serial); err != nil {
+	if err := run(context.Background(), []string{"-steps", "3", "-workers", "1"}, &serial); err != nil {
 		t.Fatalf("serial: %v", err)
 	}
-	if err := run([]string{"-steps", "3", "-workers", "4"}, &par); err != nil {
+	if err := run(context.Background(), []string{"-steps", "3", "-workers", "4"}, &par); err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
 	if serial.String() != par.String() {
 		t.Error("parallel sweep output differs from serial (ordering lost?)")
+	}
+}
+
+// End-to-end crash-resume: a sweep interrupted partway (cooperative
+// context cancellation standing in for SIGINT — TrapSignals feeds the
+// same context in main) and resumed with the same -resume dir must (a)
+// never re-execute a journaled point, and (b) produce byte-identical
+// stdout and map.csv to a never-interrupted run.
+func TestRunSweepCrashResumeByteIdentical(t *testing.T) {
+	args := func(dir string) []string {
+		return []string{"-steps", "3", "-workers", "1", "-resume", dir}
+	}
+
+	// Baseline: uninterrupted run.
+	baseDir := t.TempDir()
+	var baseline strings.Builder
+	if err := run(context.Background(), args(baseDir), &baseline); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	baseCSV, err := os.ReadFile(filepath.Join(baseDir, "map.csv"))
+	if err != nil {
+		t.Fatalf("baseline map.csv: %v", err)
+	}
+
+	// Interrupted run: cancel cooperatively after the 4th point starts.
+	// Workers=1 keeps the cut deterministic enough: at least 3 points
+	// journaled, at least one pending.
+	runDir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var firstEvals atomic.Int64
+	evalHook = func(gainPoint) {
+		if firstEvals.Add(1) == 4 {
+			cancel()
+		}
+	}
+	var interrupted strings.Builder
+	err = run(ctx, args(runDir), &interrupted)
+	evalHook = nil
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !runstate.Interrupted(err) {
+		t.Fatalf("interrupted run not classified resumable: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(runDir, "map.csv")); !os.IsNotExist(statErr) {
+		t.Error("interrupted run published map.csv")
+	}
+	if _, statErr := os.Stat(filepath.Join(runDir, runstate.JournalFileName)); statErr != nil {
+		t.Fatalf("interrupted run left no journal: %v", statErr)
+	}
+
+	// Resume: journaled points must not be re-executed (execution
+	// counter), and the completed outputs must match the baseline byte
+	// for byte.
+	var resumeEvals atomic.Int64
+	evalHook = func(gainPoint) { resumeEvals.Add(1) }
+	var resumed strings.Builder
+	err = run(context.Background(), args(runDir), &resumed)
+	evalHook = nil
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	total := int64(3 * 3)
+	if firstEvals.Load()+resumeEvals.Load() < total {
+		t.Errorf("evals %d + %d < %d points: some points never ran", firstEvals.Load(), resumeEvals.Load(), total)
+	}
+	if resumeEvals.Load() >= total {
+		t.Errorf("resume re-executed all %d points (journal ignored)", resumeEvals.Load())
+	}
+	if resumeEvals.Load() > total-3 {
+		t.Errorf("resume executed %d points; at least 3 were journaled before the cut", resumeEvals.Load())
+	}
+	if resumed.String() != baseline.String() {
+		t.Errorf("resumed stdout differs from uninterrupted baseline:\n--- baseline ---\n%s--- resumed ---\n%s",
+			baseline.String(), resumed.String())
+	}
+	runCSV, err := os.ReadFile(filepath.Join(runDir, "map.csv"))
+	if err != nil {
+		t.Fatalf("resumed map.csv: %v", err)
+	}
+	if string(runCSV) != string(baseCSV) {
+		t.Error("resumed map.csv differs from uninterrupted baseline")
+	}
+
+	// A third run replays everything from the journal: zero executions.
+	var thirdEvals atomic.Int64
+	evalHook = func(gainPoint) { thirdEvals.Add(1) }
+	var third strings.Builder
+	err = run(context.Background(), args(runDir), &third)
+	evalHook = nil
+	if err != nil {
+		t.Fatalf("third run: %v", err)
+	}
+	if thirdEvals.Load() != 0 {
+		t.Errorf("fully-journaled run re-executed %d points", thirdEvals.Load())
+	}
+	if third.String() != baseline.String() {
+		t.Error("fully-replayed stdout differs from baseline")
+	}
+}
+
+// A journal written under different sweep parameters must not leak rows
+// into a resumed run with a different grid.
+func TestRunSweepResumeIgnoresForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	var first strings.Builder
+	if err := run(context.Background(), []string{"-steps", "2", "-resume", dir}, &first); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	var evals atomic.Int64
+	evalHook = func(gainPoint) { evals.Add(1) }
+	var second strings.Builder
+	err := run(context.Background(), []string{"-steps", "2", "-b-over-q0", "8", "-resume", dir}, &second)
+	evalHook = nil
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if evals.Load() != 4 {
+		t.Errorf("changed config executed %d points, want all 4 (no cross-config cache hits)", evals.Load())
+	}
+}
+
+func TestRunSweepResumePreflight(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-steps", "2", "-resume", file}, &b); err == nil {
+		t.Error("plain file accepted as resume dir")
 	}
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"bcnphase/internal/plot"
+	"bcnphase/internal/runstate"
 )
 
 // NamedChart pairs a chart with the file stem it renders to.
@@ -95,22 +97,21 @@ func (r *Report) Text() string {
 }
 
 // WriteFiles renders the report's charts as SVG and its series as CSV
-// under dir, prefixing file names with the experiment ID.
+// under dir, prefixing file names with the experiment ID. Every artifact
+// is published atomically (rendered in memory, then tmp+fsync+rename),
+// so a crash mid-write never leaves a truncated file for a later run to
+// silently trust.
 func (r *Report) WriteFiles(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("report %s: %w", r.ID, err)
 	}
 	for _, nc := range r.Charts {
 		path := filepath.Join(dir, fmt.Sprintf("%s_%s.svg", r.ID, nc.Name))
-		f, err := os.Create(path)
+		svg, err := nc.Chart.RenderBytes()
 		if err != nil {
-			return fmt.Errorf("report %s: %w", r.ID, err)
-		}
-		if err := nc.Chart.Render(f); err != nil {
-			f.Close()
 			return fmt.Errorf("report %s: render %s: %w", r.ID, nc.Name, err)
 		}
-		if err := f.Close(); err != nil {
+		if err := runstate.WriteFileAtomic(path, svg, 0o644); err != nil {
 			return fmt.Errorf("report %s: %w", r.ID, err)
 		}
 	}
@@ -124,12 +125,12 @@ func (r *Report) WriteFiles(dir string) error {
 			b.WriteString(strconv.FormatFloat(ns.V[i], 'g', 12, 64))
 			b.WriteByte('\n')
 		}
-		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		if err := runstate.WriteFileAtomic(path, []byte(b.String()), 0o644); err != nil {
 			return fmt.Errorf("report %s: %w", r.ID, err)
 		}
 	}
 	summary := filepath.Join(dir, fmt.Sprintf("%s_summary.txt", r.ID))
-	if err := os.WriteFile(summary, []byte(r.Text()), 0o644); err != nil {
+	if err := runstate.WriteFileAtomic(summary, []byte(r.Text()), 0o644); err != nil {
 		return fmt.Errorf("report %s: %w", r.ID, err)
 	}
 	return nil
@@ -186,9 +187,27 @@ func SafeRun(e Entry) (rep *Report, err error) {
 // summarized in place, the remaining experiments still run, and the
 // joined error of every failure is returned alongside the summary.
 func RunAll(dir string) (string, error) {
+	summary, _, err := RunAllContext(context.Background(), dir)
+	return summary, err
+}
+
+// RunAllContext is RunAll with cooperative cancellation and the
+// completed reports returned for reuse (e.g. markdown rendering without
+// re-running every experiment). Cancellation is honored at experiment
+// boundaries: already-written artifacts stay valid (each is published
+// atomically), the remaining experiments are skipped, and the returned
+// error wraps runstate.ErrInterrupted so callers can exit with the
+// "interrupted, resumable" status.
+func RunAllContext(ctx context.Context, dir string) (string, []*Report, error) {
 	var b strings.Builder
 	var errs []error
+	var reports []*Report
 	for _, e := range Registry() {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("%w: stopped before experiment %s: %v", runstate.ErrInterrupted, e.ID, err))
+			fmt.Fprintf(&b, "== %s: SKIPPED (interrupted) ==\n\n", e.ID)
+			break
+		}
 		rep, err := SafeRun(e)
 		if err == nil {
 			err = rep.WriteFiles(dir)
@@ -198,8 +217,9 @@ func RunAll(dir string) (string, error) {
 			fmt.Fprintf(&b, "== %s: FAILED ==\n  error: %v\n\n", e.ID, err)
 			continue
 		}
+		reports = append(reports, rep)
 		b.WriteString(rep.Text())
 		b.WriteString("\n")
 	}
-	return b.String(), errors.Join(errs...)
+	return b.String(), reports, errors.Join(errs...)
 }

@@ -188,6 +188,17 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
 	return xmin, xmax, ymin, ymax, nil
 }
 
+// RenderBytes renders the chart to an in-memory SVG document, for
+// callers that publish artifacts atomically (render fully, then write
+// tmp+rename) instead of streaming into a half-created file.
+func (c *Chart) RenderBytes() ([]byte, error) {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
 // Render writes the chart as a standalone SVG document.
 func (c *Chart) Render(w io.Writer) error {
 	xmin, xmax, ymin, ymax, err := c.bounds()

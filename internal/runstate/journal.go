@@ -1,0 +1,203 @@
+package runstate
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JournalFileName is the journal's file name inside a run directory.
+const JournalFileName = "journal.jsonl"
+
+// record is one journal line. Val must be valid JSON; CRC is the IEEE
+// CRC-32 of key||val so a torn or bit-rotted line is detected on replay
+// instead of being resurrected as a (corrupt) cached result.
+type record struct {
+	Key string          `json:"key"`
+	Val json.RawMessage `json:"val"`
+	CRC uint32          `json:"crc"`
+}
+
+func recordCRC(key string, val []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte(key))
+	h.Write(val)
+	return h.Sum32()
+}
+
+// decodeRecord parses one journal line, rejecting anything that is not a
+// structurally valid, checksum-consistent record. It never panics on
+// arbitrary input (fuzzed in fuzz_test.go).
+func decodeRecord(line []byte) (record, error) {
+	var rec record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return record{}, fmt.Errorf("runstate: bad journal record: %w", err)
+	}
+	if dec.More() {
+		return record{}, fmt.Errorf("runstate: trailing data after journal record")
+	}
+	if rec.Key == "" {
+		return record{}, fmt.Errorf("runstate: journal record without key")
+	}
+	if !json.Valid(rec.Val) {
+		return record{}, fmt.Errorf("runstate: journal record value is not valid JSON")
+	}
+	if rec.CRC != recordCRC(rec.Key, rec.Val) {
+		return record{}, fmt.Errorf("runstate: journal record checksum mismatch")
+	}
+	return rec, nil
+}
+
+// Journal is an append-only JSONL write-ahead log of completed sweep
+// points: one record per completed point, keyed by a content hash of the
+// point's identity (experiment id, params, seed, config fingerprint).
+// Opening an existing journal replays it; a torn tail — the partial last
+// line a crash mid-append leaves behind — is tolerated and dropped, as
+// is any line whose checksum does not match. Later records for the same
+// key supersede earlier ones.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]json.RawMessage
+	dropped int
+	path    string
+}
+
+// OpenJournal opens (creating if absent) the journal at path and replays
+// its records. Replay never fails on corrupt content — invalid lines are
+// counted in Dropped() and skipped — only on I/O errors.
+func OpenJournal(path string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("runstate: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: open journal: %w", err)
+	}
+	j := &Journal{f: f, entries: make(map[string]json.RawMessage), path: path}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := decodeRecord(line)
+		if err != nil {
+			j.dropped++
+			continue
+		}
+		j.entries[rec.Key] = append(json.RawMessage(nil), rec.Val...)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runstate: replay journal: %w", err)
+	}
+	// A crash mid-append can leave the file without a trailing newline;
+	// terminate the torn line now so the next Record starts fresh instead
+	// of concatenating onto (and losing itself to) the corrupt tail.
+	if info, err := f.Stat(); err == nil && info.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], info.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("runstate: terminate torn journal tail: %w", err)
+			}
+		}
+	}
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Lookup returns the journaled value for key, if any.
+func (j *Journal) Lookup(key string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.entries[key]
+	return v, ok
+}
+
+// Record appends one completed-point record and fsyncs it, so a point's
+// work is durable the moment Record returns. val must be valid JSON.
+func (j *Journal) Record(key string, val []byte) error {
+	if key == "" {
+		return fmt.Errorf("runstate: empty journal key")
+	}
+	if !json.Valid(val) {
+		return fmt.Errorf("runstate: journal value for %s is not valid JSON", key)
+	}
+	line, err := json.Marshal(record{Key: key, Val: val, CRC: recordCRC(key, val)})
+	if err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runstate: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("runstate: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runstate: sync journal: %w", err)
+	}
+	j.entries[key] = append(json.RawMessage(nil), val...)
+	return nil
+}
+
+// Len is the number of distinct journaled keys.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Dropped is the number of corrupt or torn lines skipped during replay.
+func (j *Journal) Dropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Close flushes and closes the journal file. Lookup keeps working on the
+// replayed state; Record fails after Close.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("runstate: close journal: %w", err)
+	}
+	return nil
+}
+
+// HashJSON is the journal's content-hash key function: the hex SHA-256
+// of the canonical JSON encoding of v (struct field order and sorted map
+// keys make encoding/json canonical enough for identical inputs). Use it
+// to key sweep points by (experiment id, point params, seed, config
+// fingerprint) so any change to the run's identity invalidates the
+// cached results.
+func HashJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("runstate: hash: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

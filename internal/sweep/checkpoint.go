@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// Checkpoint persists completed point results across process restarts.
+// internal/runstate.Journal satisfies it; any keyed byte store with
+// durable Record semantics works. Implementations must be safe for
+// concurrent use — sweep workers record in parallel.
+type Checkpoint interface {
+	// Lookup returns the stored value for key, if present.
+	Lookup(key string) ([]byte, bool)
+	// Record durably stores value (valid JSON) under key.
+	Record(key string, value []byte) error
+}
+
+// RunCheckpointed is Run with crash-safe resume: points whose key is
+// already present in ck are not re-evaluated — their journaled value is
+// decoded and returned with Result.Cached set — and every freshly
+// completed point is recorded in ck (as JSON) before the sweep moves on,
+// so an interrupted run resumed with the same journal re-pays only the
+// unfinished points. key must identify a point's full evaluation
+// identity (params, seed, config fingerprint); R must round-trip through
+// encoding/json. A Record failure fails the point: when the caller asked
+// for durability, silently computing unpersistable results would break
+// the resume contract.
+func RunCheckpointed[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options, ck Checkpoint, key func(P) string) ([]Result[P, R], error) {
+	if ck == nil || key == nil {
+		return Run(ctx, points, fn, opts)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil evaluation function")
+	}
+	results := make([]Result[P, R], len(points))
+	keys := make([]string, len(points))
+	var todo []int
+	for i, p := range points {
+		keys[i] = key(p)
+		raw, ok := ck.Lookup(keys[i])
+		if ok {
+			var v R
+			if err := json.Unmarshal(raw, &v); err == nil {
+				results[i] = Result[P, R]{Point: p, Value: v, Cached: true}
+				continue
+			}
+			// An undecodable journal value (e.g. the result type changed
+			// shape) falls through to re-evaluation rather than failing
+			// the resume.
+		}
+		todo = append(todo, i)
+	}
+	inner, err := Run(ctx, todo, func(ctx context.Context, i int) (R, error) {
+		v, err := fn(ctx, points[i])
+		if err != nil {
+			return v, err
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return v, fmt.Errorf("sweep: checkpoint encode: %w", err)
+		}
+		if err := ck.Record(keys[i], raw); err != nil {
+			return v, fmt.Errorf("sweep: checkpoint record: %w", err)
+		}
+		return v, nil
+	}, opts)
+	for _, r := range inner {
+		results[r.Point] = Result[P, R]{
+			Point:    points[r.Point],
+			Value:    r.Value,
+			Err:      r.Err,
+			Attempts: r.Attempts,
+		}
+	}
+	return results, err
+}

@@ -1,0 +1,211 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// memCheckpoint is an in-memory Checkpoint for tests.
+type memCheckpoint struct {
+	mu      sync.Mutex
+	m       map[string][]byte
+	failOn  string // Record for this key fails
+	records int
+}
+
+func newMemCheckpoint() *memCheckpoint { return &memCheckpoint{m: map[string][]byte{}} }
+
+func (c *memCheckpoint) Lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *memCheckpoint) Record(key string, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if key == c.failOn {
+		return errors.New("disk full")
+	}
+	c.records++
+	c.m[key] = value
+	return nil
+}
+
+func intKey(p int) string { return fmt.Sprintf("p%d", p) }
+
+func TestRunCheckpointedSkipsJournaledPoints(t *testing.T) {
+	ck := newMemCheckpoint()
+	points := []int{0, 1, 2, 3, 4}
+	var evals atomic.Int64
+	fn := func(_ context.Context, p int) (int, error) {
+		evals.Add(1)
+		return p * p, nil
+	}
+
+	first, err := RunCheckpointed(context.Background(), points, fn, Options{}, ck, intKey)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if got := evals.Load(); got != 5 {
+		t.Errorf("first run evaluated %d points, want 5", got)
+	}
+	for i, r := range first {
+		if r.Cached || r.Value != i*i || r.Attempts != 1 {
+			t.Errorf("first[%d] = %+v", i, r)
+		}
+	}
+
+	// Second run with the same checkpoint: zero evaluations, identical
+	// values, all cached.
+	evals.Store(0)
+	second, err := RunCheckpointed(context.Background(), points, fn, Options{}, ck, intKey)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if got := evals.Load(); got != 0 {
+		t.Errorf("resumed run re-executed %d journaled points", got)
+	}
+	for i, r := range second {
+		if !r.Cached || r.Value != i*i || r.Attempts != 0 {
+			t.Errorf("second[%d] = %+v", i, r)
+		}
+	}
+}
+
+func TestRunCheckpointedPartialResume(t *testing.T) {
+	ck := newMemCheckpoint()
+	points := []int{0, 1, 2, 3, 4, 5}
+	// Pre-journal points 0..2 as if a prior run was interrupted after 3.
+	for _, p := range points[:3] {
+		if err := ck.Record(intKey(p), []byte(fmt.Sprintf("%d", p*p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var evals atomic.Int64
+	res, err := RunCheckpointed(context.Background(), points, func(_ context.Context, p int) (int, error) {
+		evals.Add(1)
+		return p * p, nil
+	}, Options{}, ck, intKey)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := evals.Load(); got != 3 {
+		t.Errorf("resume evaluated %d points, want exactly the 3 unfinished", got)
+	}
+	for i, r := range res {
+		if r.Value != i*i {
+			t.Errorf("res[%d].Value = %d, want %d", i, r.Value, i*i)
+		}
+		if wantCached := i < 3; r.Cached != wantCached {
+			t.Errorf("res[%d].Cached = %v, want %v", i, r.Cached, wantCached)
+		}
+	}
+}
+
+func TestRunCheckpointedCancelMidRunThenResume(t *testing.T) {
+	ck := newMemCheckpoint()
+	points := make([]int, 8)
+	for i := range points {
+		points[i] = i
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var evals atomic.Int64
+	// Simulate SIGINT before the 4th point: the evaluation observes the
+	// cancellation cooperatively (exactly how a ctx-aware solve fails),
+	// so the first three points are journaled and nothing stays in
+	// flight past Run's return.
+	fn := func(ctx context.Context, p int) (int, error) {
+		if evals.Add(1) == 4 {
+			cancel()
+			return 0, ctx.Err()
+		}
+		return p + 100, nil
+	}
+	res, err := RunCheckpointed(ctx, points, fn, Options{Workers: 1}, ck, intKey)
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	done := 0
+	for _, r := range res {
+		if r.Err == nil {
+			done++
+		} else if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("unexpected point error: %v", r.Err)
+		}
+	}
+	if done != 3 {
+		t.Fatalf("done = %d, want 3", done)
+	}
+	if ck.records != done {
+		t.Errorf("journal has %d records, %d points completed", ck.records, done)
+	}
+
+	// Resume to completion: only the unjournaled points evaluate.
+	evals.Store(0)
+	res2, err := RunCheckpointed(context.Background(), points, func(_ context.Context, p int) (int, error) {
+		evals.Add(1)
+		return p + 100, nil
+	}, Options{Workers: 1}, ck, intKey)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if int(evals.Load()) != len(points)-done {
+		t.Errorf("resume evaluated %d, want %d", evals.Load(), len(points)-done)
+	}
+	for i, r := range res2 {
+		if r.Err != nil || r.Value != i+100 {
+			t.Errorf("res2[%d] = %+v", i, r)
+		}
+	}
+}
+
+func TestRunCheckpointedRecordFailureFailsPoint(t *testing.T) {
+	ck := newMemCheckpoint()
+	ck.failOn = intKey(2)
+	res, err := RunCheckpointed(context.Background(), []int{1, 2, 3},
+		func(_ context.Context, p int) (int, error) { return p, nil },
+		Options{ContinueOnError: true}, ck, intKey)
+	if err == nil {
+		t.Fatal("record failure not surfaced")
+	}
+	if res[1].Err == nil {
+		t.Error("point with failed Record has no error")
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Error("healthy points poisoned by a sibling's Record failure")
+	}
+}
+
+func TestRunCheckpointedUndecodableEntryReEvaluates(t *testing.T) {
+	ck := newMemCheckpoint()
+	ck.m[intKey(0)] = []byte(`"not an int"`)
+	var evals atomic.Int64
+	res, err := RunCheckpointed(context.Background(), []int{0},
+		func(_ context.Context, p int) (int, error) { evals.Add(1); return 7, nil },
+		Options{}, ck, intKey)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if evals.Load() != 1 || res[0].Cached || res[0].Value != 7 {
+		t.Errorf("stale-shape entry not re-evaluated: evals=%d res=%+v", evals.Load(), res[0])
+	}
+}
+
+func TestRunCheckpointedNilCheckpointFallsBack(t *testing.T) {
+	res, err := RunCheckpointed(context.Background(), []int{1, 2},
+		func(_ context.Context, p int) (int, error) { return p, nil },
+		Options{}, nil, nil)
+	if err != nil || len(res) != 2 || res[0].Value != 1 {
+		t.Errorf("nil checkpoint fallback: res=%v err=%v", res, err)
+	}
+	if _, err := RunCheckpointed[int, int](context.Background(), []int{1}, nil, Options{}, newMemCheckpoint(), intKey); err == nil {
+		t.Error("nil fn accepted")
+	}
+}

@@ -50,8 +50,12 @@ type Result[P, R any] struct {
 	Value R
 	Err   error
 	// Attempts counts evaluations of this point (≥ 1, > 1 after
-	// retries); 0 marks a point never evaluated (sweep cancelled first).
+	// retries); 0 marks a point never evaluated (sweep cancelled first,
+	// or replayed from a checkpoint).
 	Attempts int
+	// Cached marks a point replayed from a Checkpoint by RunCheckpointed
+	// instead of being evaluated.
+	Cached bool
 }
 
 // PanicError is the Result.Err of a point whose evaluation panicked: the
@@ -213,7 +217,9 @@ func evalOnce[P, R any](ctx context.Context, p P, fn Func[P, R], timeout time.Du
 }
 
 // Grid2 builds the cartesian product of two axes as point pairs, row
-// major (all ys for the first x, then the next x).
+// major (all ys for the first x, then the next x). An empty axis yields
+// an empty (non-nil) grid — the product of nothing is nothing, not an
+// error.
 func Grid2[A, B any](xs []A, ys []B) []Pair[A, B] {
 	out := make([]Pair[A, B], 0, len(xs)*len(ys))
 	for _, x := range xs {
@@ -230,7 +236,10 @@ type Pair[A, B any] struct {
 	Y B
 }
 
-// Logspace returns n geometrically spaced values from lo to hi inclusive.
+// Logspace returns n geometrically spaced values from lo to hi
+// inclusive. n < 2 (a "spacing" of fewer than two points is ambiguous)
+// and non-positive bounds (no geometric path through zero) are errors;
+// lo > hi is allowed and yields a descending sequence.
 func Logspace(lo, hi float64, n int) ([]float64, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("sweep: Logspace needs n >= 2, got %d", n)
@@ -248,6 +257,8 @@ func Logspace(lo, hi float64, n int) ([]float64, error) {
 }
 
 // Linspace returns n uniformly spaced values from lo to hi inclusive.
+// n < 2 is an error; lo > hi is allowed and yields a descending
+// sequence.
 func Linspace(lo, hi float64, n int) ([]float64, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("sweep: Linspace needs n >= 2, got %d", n)
