@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds check smoke-resume clean
+.PHONY: all build test vet race fuzz-seeds metamorphic check smoke-resume clean
 
 all: check
 
@@ -21,9 +21,14 @@ race:
 fuzz-seeds:
 	$(GO) test -run='^Fuzz' ./...
 
-# The full pre-merge gate: static checks, build, race-enabled tests and
-# the fuzz seed corpora.
-check: vet build race fuzz-seeds
+# Metamorphic relations of the model (scaling/exchange symmetries the
+# solver must honor exactly, and guard-passivity checks).
+metamorphic:
+	$(GO) test -run='Metamorphic' ./...
+
+# The full pre-merge gate: static checks, build, race-enabled tests,
+# the fuzz seed corpora and the metamorphic relations.
+check: vet build race fuzz-seeds metamorphic
 
 # Kill-and-resume smoke: SIGINT a real bcnsweep run partway, resume it
 # from the journal, and require byte-identical artifacts vs an

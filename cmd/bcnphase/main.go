@@ -15,6 +15,8 @@ import (
 	"os"
 
 	"bcnphase/internal/core"
+	"bcnphase/internal/invariant"
+	"bcnphase/internal/invariant/xcheck"
 	"bcnphase/internal/linear"
 	"bcnphase/internal/plot"
 	"bcnphase/internal/runstate"
@@ -44,22 +46,47 @@ func run(args []string, out io.Writer) error {
 		warmup = fs.Float64("warmup", -1, "per-source initial rate for the warm-up phase (bits/s); negative disables")
 		size   = fs.Bool("size", false, "print inverse provisioning: max flows/Gi, min Gd, max q0 for this buffer")
 		trans  = fs.Bool("transient", false, "print transient metrics (overshoot, period, settling)")
+		invPol = fs.String("invariants", "off", "runtime invariant checking: off, record, strict or clamp")
+		xc     = fs.Bool("xcheck", false, "cross-validate the stitched trajectory against an independent numerical integration")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := invariant.ParsePolicy(*invPol)
+	if err != nil {
 		return err
 	}
 	p := core.Params{
 		N: *n, C: *c, Ru: *ru, Gi: *gi, Gd: *gd, W: *w, Pm: *pm, Q0: *q0, B: *b,
 	}
+	chk := invariant.NewPolicy(policy)
 	if err := p.Validate(); err != nil {
-		return err
+		if ferr := chk.Fail(core.PredParamsValid, 0, err.Error()); ferr != nil {
+			return ferr
+		}
+		if !chk.Enabled() {
+			return err
+		}
+		// Record/Clamp: integrate through the broken parameters and
+		// report what the guards saw; the derived criteria and linear
+		// comparison are meaningless here, so print a reduced analysis.
+		tr, serr := core.Solve(p, core.SolveOptions{SamplesPerArc: 128, Invariants: chk})
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(out, "parameters: INVALID: %v\n", err)
+		fmt.Fprintf(out, "trajectory: outcome=%v  strongly stable=%v\n",
+			tr.Outcome, tr.Outcome.StronglyStable())
+		fmt.Fprintf(out, "invariants: policy=%s  violations=%d  first=%s  by predicate=%v\n",
+			policy, tr.Violations.Total, tr.Violations.FirstPredicate(), tr.Violations.ByPredicate)
+		return nil
 	}
 
 	rep, err := core.Criteria(p)
 	if err != nil {
 		return err
 	}
-	opts := core.SolveOptions{SamplesPerArc: 128}
+	opts := core.SolveOptions{SamplesPerArc: 128, Invariants: chk}
 	if *warmup >= 0 {
 		mu := *warmup
 		opts.WarmupFromRate = &mu
@@ -94,6 +121,23 @@ func run(args []string, out io.Writer) error {
 	}
 	if v.Disagreement {
 		fmt.Fprintln(out, "NOTE: linear theory declares this system stable, but it is NOT strongly stable")
+	}
+	if policy != invariant.Off {
+		fmt.Fprintf(out, "invariants: policy=%s  violations=%d", policy, tr.Violations.Total)
+		if tr.Violations.Total > 0 {
+			fmt.Fprintf(out, "  first=%s  by predicate=%v", tr.Violations.FirstPredicate(), tr.Violations.ByPredicate)
+		}
+		fmt.Fprintln(out)
+	}
+	if *xc {
+		r, err := xcheck.CrossValidate(p, xcheck.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+		if err := r.Err(); err != nil {
+			return err
+		}
 	}
 
 	if *size {

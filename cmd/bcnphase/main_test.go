@@ -1,10 +1,14 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/invariant"
 )
 
 func TestRunPaperDefaults(t *testing.T) {
@@ -82,5 +86,63 @@ func TestRunSizingAndTransient(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+func TestRunInvariantsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-b", "14.5e6", "-invariants", "record"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "invariants: policy=record") {
+		t.Errorf("output missing invariants summary:\n%s", b.String())
+	}
+	if err := run([]string{"-invariants", "bogus"}, &b); err == nil {
+		t.Error("bogus -invariants value accepted")
+	}
+}
+
+// TestRunBrokenParamsByPolicy pins the CLI contract for invalid
+// parameters: off keeps the plain validation error, strict aborts with
+// a structured InvariantError naming the predicate, record completes
+// with a reduced report and non-zero tallies.
+func TestRunBrokenParamsByPolicy(t *testing.T) {
+	broken := []string{"-gd", "-0.1"}
+
+	var b strings.Builder
+	err := run(broken, &b)
+	var ie *invariant.InvariantError
+	if err == nil || errors.As(err, &ie) {
+		t.Errorf("policy off: want plain validation error, got %v", err)
+	}
+
+	b.Reset()
+	err = run(append(broken, "-invariants", "strict"), &b)
+	if !errors.As(err, &ie) {
+		t.Fatalf("policy strict: want *InvariantError, got %v", err)
+	}
+	if ie.Violation.Predicate != core.PredParamsValid {
+		t.Errorf("predicate %q, want %q", ie.Violation.Predicate, core.PredParamsValid)
+	}
+
+	b.Reset()
+	if err := run(append(broken, "-invariants", "record"), &b); err != nil {
+		t.Fatalf("policy record: %v", err)
+	}
+	got := b.String()
+	for _, want := range []string{"parameters: INVALID", "first=" + core.PredParamsValid} {
+		if !strings.Contains(got, want) {
+			t.Errorf("record output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunXCheck(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-b", "14.5e6", "-xcheck"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "xcheck:") {
+		t.Errorf("output missing xcheck report:\n%s", b.String())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"bcnphase/internal/experiments"
+	"bcnphase/internal/invariant"
 	"bcnphase/internal/runstate"
 )
 
@@ -40,14 +41,20 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bcnreport", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
 	var (
-		out  = fs.String("out", "out", "output directory")
-		only = fs.String("only", "", "run a single experiment by ID (e.g. fig6)")
-		list = fs.Bool("list", false, "list experiment IDs and exit")
-		md   = fs.Bool("md", false, "also write RESULTS.md (markdown) into the output directory")
+		out    = fs.String("out", "out", "output directory")
+		only   = fs.String("only", "", "run a single experiment by ID (e.g. fig6)")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		md     = fs.Bool("md", false, "also write RESULTS.md (markdown) into the output directory")
+		invPol = fs.String("invariants", "off", "runtime invariant checking for every solved trajectory: off, record, strict or clamp")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	policy, err := invariant.ParsePolicy(*invPol)
+	if err != nil {
+		return err
+	}
+	experiments.InvariantPolicy = policy
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-10s %s\n", e.ID, e.What)

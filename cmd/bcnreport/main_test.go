@@ -92,3 +92,16 @@ func TestRunInterruptedStatus(t *testing.T) {
 		t.Errorf("cancelled run not classified as interrupted: %v", err)
 	}
 }
+
+func TestRunXCheckExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(context.Background(), []string{"-only", "xcheck", "-out", dir, "-invariants", "strict"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "xcheck_drift.svg")); err != nil {
+		t.Errorf("xcheck artifact missing: %v", err)
+	}
+	if err := run(context.Background(), []string{"-invariants", "bogus", "-out", dir}); err == nil {
+		t.Error("bogus -invariants value accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"bcnphase/internal/invariant"
 	"bcnphase/internal/netsim"
 	"bcnphase/internal/plot"
 	"bcnphase/internal/runstate"
@@ -59,8 +60,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		csv      = fs.String("csv", "", "write the queue series to this CSV file")
 		ascii    = fs.Bool("ascii", false, "print an ASCII chart of the queue series")
 		trace    = fs.String("trace", "", "write a per-event trace to this file")
+		invPol   = fs.String("invariants", "off", "runtime invariant checking: off, record, strict or clamp")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := invariant.ParsePolicy(*invPol)
+	if err != nil {
 		return err
 	}
 	cfg := netsim.Config{
@@ -69,7 +75,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		InitialRate: *initRate,
 		BCN:         !*noBCN,
 		Q0:          *q0, W: *w, Pm: *pm, Ru: *ru, Gi: *gi, Gd: *gd,
-		Seed: *seed,
+		Seed:       *seed,
+		Invariants: policy,
 	}
 	if *pause {
 		cfg.Pause = true
@@ -126,6 +133,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if cfg.BCN {
 		fmt.Fprintf(out, "bcn:         %d samples, %d positive, %d negative messages\n",
 			res.CPSamples, res.PosMessages, res.NegMessages)
+	}
+	if policy != invariant.Off {
+		fmt.Fprintf(out, "invariants:  policy=%s violations=%d", policy, res.Invariants.Total)
+		if res.Invariants.Total > 0 {
+			fmt.Fprintf(out, " first=%s by predicate=%v", res.Invariants.FirstPredicate(), res.Invariants.ByPredicate)
+		}
+		fmt.Fprintln(out)
 	}
 	if *ascii {
 		art, err := plot.ASCII("queue occupancy (bits)", 72, 18, plot.Series{

@@ -123,3 +123,16 @@ func TestRunInterruptedLeavesNoPartialArtifacts(t *testing.T) {
 		t.Errorf("interrupted run left %d stray files (temp leak?)", len(entries))
 	}
 }
+
+func TestRunInvariantsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-dur", "0.02", "-invariants", "record"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "invariants:  policy=record") {
+		t.Errorf("output missing invariants summary:\n%s", b.String())
+	}
+	if err := run(context.Background(), []string{"-invariants", "bogus"}, &b); err == nil {
+		t.Error("bogus -invariants value accepted")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"bcnphase/internal/core"
+	"bcnphase/internal/invariant"
 	"bcnphase/internal/linear"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/sweep"
@@ -65,9 +66,27 @@ type sweepIdentity struct {
 	GiLo, GiHi float64
 	GdLo, GdHi float64
 	Steps      int
+	// Invariants is the checking policy: Clamp changes trajectories and
+	// every policy changes the violation columns, so rows journaled
+	// under one policy must not replay under another.
+	Invariants string
 }
 
-const csvHeader = "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho"
+const csvHeader = "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho,violations,first_violation"
+
+// row is one evaluated grid point. Fields are exported so the -resume
+// journal can round-trip it through JSON.
+type row struct {
+	// CSV is the rendered output line.
+	CSV string
+	// Violations and FirstPred summarize the point's runtime invariant
+	// tallies for sweep-level aggregation.
+	Violations uint64
+	FirstPred  string
+}
+
+// InvariantViolations implements sweep.InvariantReporter.
+func (r row) InvariantViolations() (uint64, string) { return r.Violations, r.FirstPred }
 
 // evalHook, when non-nil, observes every fresh (non-replayed) point
 // evaluation; tests use it to count executions and to interrupt the
@@ -87,12 +106,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers = fs.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
 		timeout = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
 		resume  = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
+		invPol  = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *steps < 2 {
 		return fmt.Errorf("steps must be >= 2, got %d", *steps)
+	}
+	policy, err := invariant.ParsePolicy(*invPol)
+	if err != nil {
+		return err
 	}
 	base := core.FigureExample()
 	base.B = *bOverQ0 * base.Q0
@@ -107,30 +131,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			points = append(points, gainPoint{Gi: gi, Gd: geom(*gdLo, *gdHi, j, *steps)})
 		}
 	}
-	eval := func(ctx context.Context, pt gainPoint) (string, error) {
+	eval := func(ctx context.Context, pt gainPoint) (row, error) {
 		if evalHook != nil {
 			evalHook(pt)
 		}
 		// Cooperative cancellation point: a drained point fails with
 		// ctx.Err (and is not journaled) instead of racing the shutdown.
 		if err := ctx.Err(); err != nil {
-			return "", err
+			return row{}, err
 		}
 		p := base
 		p.Gi = pt.Gi
 		p.Gd = pt.Gd
 		v, err := linear.Compare(p)
 		if err != nil {
-			return "", err
+			return row{}, err
 		}
-		tr, err := core.Solve(p, core.SolveOptions{})
+		tr, err := core.Solve(p, core.SolveOptions{Invariants: invariant.NewPolicy(policy)})
 		if err != nil {
-			return "", err
+			return row{}, err
 		}
-		return fmt.Sprintf("%g,%g,%d,%v,%v,%g,%s,%v,%g,%g",
-			pt.Gi, pt.Gd, int(p.Case()), v.LinearStable, v.Theorem1OK,
-			core.Theorem1Bound(p), tr.Outcome, tr.Outcome.StronglyStable(),
-			tr.MaxQueue(), tr.Rho), nil
+		return row{
+			CSV: fmt.Sprintf("%g,%g,%d,%v,%v,%g,%s,%v,%g,%g,%d,%s",
+				pt.Gi, pt.Gd, int(p.Case()), v.LinearStable, v.Theorem1OK,
+				core.Theorem1Bound(p), tr.Outcome, tr.Outcome.StronglyStable(),
+				tr.MaxQueue(), tr.Rho, tr.Violations.Total, tr.Violations.FirstPredicate()),
+			Violations: tr.Violations.Total,
+			FirstPred:  tr.Violations.FirstPredicate(),
+		}, nil
 	}
 
 	// With -resume, completed points are journaled before the sweep moves
@@ -145,11 +173,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		identity := sweepIdentity{
 			Experiment: "bcnsweep/gainmap",
-			Format:     1,
+			Format:     2,
 			BOverQ0:    *bOverQ0,
 			GiLo:       *giLo, GiHi: *giHi,
 			GdLo: *gdLo, GdHi: *gdHi,
-			Steps: *steps,
+			Steps:      *steps,
+			Invariants: policy.String(),
 		}
 		fingerprint, err := runstate.HashJSON(identity)
 		if err != nil {
@@ -180,7 +209,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		PointTimeout:    *timeout,
 		ContinueOnError: true,
 	}
-	var results []sweep.Result[gainPoint, string]
+	var results []sweep.Result[gainPoint, row]
 	if journal != nil {
 		results, _ = sweep.RunCheckpointed(ctx, points, eval, opts, journal, keyFn)
 	} else {
@@ -194,7 +223,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	for _, r := range results {
 		switch {
 		case r.Err == nil:
-			fmt.Fprintln(&csv, r.Value)
+			fmt.Fprintln(&csv, r.Value.CSV)
 		case ctx.Err() != nil && runstate.Interrupted(r.Err):
 			// Drained by the run-level shutdown. A per-point deadline
 			// (Options.PointTimeout) also surfaces as a context error but
@@ -208,6 +237,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprint(out, csv.String())
 	for _, f := range failed {
 		fmt.Fprintln(os.Stderr, "bcnsweep: point failed:", f)
+	}
+	if tally := sweep.TallyViolations(results); tally.Total > 0 {
+		fmt.Fprintf(os.Stderr, "bcnsweep: invariants: %d of %d points dirty, %d violations total (by first predicate: %v)\n",
+			tally.Dirty, tally.Points, tally.Total, tally.ByPredicate)
 	}
 
 	// An interrupted sweep exits resumable without publishing map.csv —

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParamsValidate throws arbitrary floats at Params.Validate and checks
+// the contract: it never panics, and any parameter set it accepts yields
+// finite (non-NaN) derived coefficients, a classified case, and a region
+// decision at every probe point. Non-finite inputs must be rejected.
+func FuzzParamsValidate(f *testing.F) {
+	p := PaperExample()
+	f.Add(p.N, p.C, p.Ru, p.Gi, p.Gd, p.W, p.Pm, p.Q0, p.B, p.Qsc)
+	f.Add(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-3, -1e9, math.NaN(), math.Inf(1), -0.5, 1e308, 2.0, 1.0, 0.5, 0.7)
+	f.Add(50, 10e9, 8e6, 4.0, -1.0/128, 2.0, 0.01, 2.5e6, 5e6, 4e6)
+	f.Add(2, 1e9, 8e6, 0.5, 1.0/128, 2.0, 1.0, 2e5, 1e30, 0.0)
+	f.Fuzz(func(t *testing.T, n int, c, ru, gi, gd, w, pm, q0, b, qsc float64) {
+		p := Params{N: n, C: c, Ru: ru, Gi: gi, Gd: gd, W: w, Pm: pm, Q0: q0, B: b, Qsc: qsc}
+		err := p.Validate()
+		for _, v := range []float64{c, ru, gi, gd, w, pm, q0, b} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				if err == nil {
+					t.Fatalf("Validate accepted non-finite field in %+v", p)
+				}
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+		// Accepted parameters must produce usable derived quantities.
+		// (Products of extreme finite values may overflow to +Inf, which is
+		// a representable ordering; NaN would poison every comparison.)
+		for name, v := range map[string]float64{
+			"A": p.A(), "K": p.K(), "AThreshold": p.AThreshold(),
+			"BThreshold": p.BThreshold(), "Theorem1Bound": Theorem1Bound(p),
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("%s is NaN for accepted params %+v", name, p)
+			}
+		}
+		if k := p.Case(); k < Case1 || k > Case5 {
+			t.Fatalf("Case() = %v for accepted params %+v", k, p)
+		}
+		for _, probe := range [][2]float64{{0, 0}, {-q0, 0}, {b - q0, 0}, {0, -c}, {1, 1}} {
+			r := p.RegionAt(probe[0], probe[1])
+			if r != Increase && r != Decrease {
+				t.Fatalf("RegionAt(%v) = %v", probe, r)
+			}
+			lin := p.RegionLinear(r)
+			if math.IsNaN(lin.M) || math.IsNaN(lin.N) {
+				t.Fatalf("RegionLinear(%v) has NaN: %+v", r, lin)
+			}
+		}
+		if _, werr := p.WarmupTime(0); werr != nil {
+			t.Fatalf("WarmupTime(0) rejected for accepted params: %v", werr)
+		}
+		if _, werr := p.WarmupTime(-1); werr == nil {
+			t.Fatal("WarmupTime(-1) accepted a negative rate")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bcnphase/internal/invariant"
+)
+
+// Metamorphic relations of the switched linear model. Both branches of
+// the stitched system are linear and homogeneous in (x, y):
+//
+//	dx/dt = y
+//	dy/dt = −a(x + ky)    (increase)   dy/dt = −bC(x + ky)  (decrease)
+//
+// so exact symmetry relations hold that any correct solver must honor,
+// whatever its internals. `make metamorphic` runs this suite alone.
+
+// TestMetamorphicQ0Scaling: scaling the operating point (Q0, B) by λ
+// with all gains fixed scales the trajectory exactly by λ — the
+// equations are homogeneous and the start is (−q0, 0). Outcome, ρ and
+// the crossing count are invariant; every excursion scales linearly.
+func TestMetamorphicQ0Scaling(t *testing.T) {
+	base := FigureExample()
+	ref, err := Solve(base, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range []float64{0.5, 2, 64} {
+		p := base
+		p.Q0 *= lambda
+		p.B *= lambda
+		tr, err := Solve(p, SolveOptions{})
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		if tr.Outcome != ref.Outcome {
+			t.Errorf("λ=%v: outcome %v, want %v", lambda, tr.Outcome, ref.Outcome)
+		}
+		if len(tr.Crossings) != len(ref.Crossings) {
+			t.Errorf("λ=%v: %d crossings, want %d", lambda, len(tr.Crossings), len(ref.Crossings))
+		}
+		if relErr(tr.Rho, ref.Rho) > 1e-9 {
+			t.Errorf("λ=%v: rho %v, want %v", lambda, tr.Rho, ref.Rho)
+		}
+		if relErr(tr.MaxQueue(), lambda*ref.MaxQueue()) > 1e-9 {
+			t.Errorf("λ=%v: max queue %v, want %v", lambda, tr.MaxQueue(), lambda*ref.MaxQueue())
+		}
+	}
+}
+
+// TestMetamorphicNGiExchange: the increase-branch coefficient is
+// a = Ru·Gi·N, so trading flows for gain at constant product leaves the
+// fluid trajectory bit-for-bit identical (same a, b, k, start).
+func TestMetamorphicNGiExchange(t *testing.T) {
+	base := PaperExample() // N=50, Gi=4
+	ref, err := Solve(base, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{2, 5, 10} {
+		p := base
+		p.N = base.N / f
+		p.Gi = base.Gi * float64(f)
+		if p.A() != base.A() {
+			t.Fatalf("factor %d: a = %v, want %v", f, p.A(), base.A())
+		}
+		tr, err := Solve(p, SolveOptions{})
+		if err != nil {
+			t.Fatalf("factor %d: %v", f, err)
+		}
+		if tr.Outcome != ref.Outcome || tr.Rho != ref.Rho {
+			t.Errorf("factor %d: (%v, %v), want (%v, %v)", f, tr.Outcome, tr.Rho, ref.Outcome, ref.Rho)
+		}
+		if tr.MaxQueue() != ref.MaxQueue() {
+			t.Errorf("factor %d: max queue %v, want %v", f, tr.MaxQueue(), ref.MaxQueue())
+		}
+		if Theorem1Bound(p) != Theorem1Bound(base) {
+			t.Errorf("factor %d: Theorem 1 bound moved", f)
+		}
+	}
+}
+
+// TestMetamorphicSamplingResolution: SamplesPerArc only changes how
+// densely the closed-form arcs are sampled for output, never the
+// verdicts — outcome, ρ, crossing times and the arc-endpoint extrema
+// are resolution-independent.
+func TestMetamorphicSamplingResolution(t *testing.T) {
+	p := FigureExample()
+	coarse, err := Solve(p, SolveOptions{SamplesPerArc: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Solve(p, SolveOptions{SamplesPerArc: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Outcome != fine.Outcome || coarse.Rho != fine.Rho {
+		t.Errorf("resolution changed the verdict: (%v, %v) vs (%v, %v)",
+			coarse.Outcome, coarse.Rho, fine.Outcome, fine.Rho)
+	}
+	if len(coarse.Crossings) != len(fine.Crossings) {
+		t.Fatalf("crossing counts differ: %d vs %d", len(coarse.Crossings), len(fine.Crossings))
+	}
+	for i := range coarse.Crossings {
+		if relErr(coarse.Crossings[i].T, fine.Crossings[i].T) > 1e-12 {
+			t.Errorf("crossing %d moved: %v vs %v", i, coarse.Crossings[i].T, fine.Crossings[i].T)
+		}
+	}
+	if len(coarse.Extrema) != len(fine.Extrema) {
+		t.Fatalf("extrema counts differ: %d vs %d", len(coarse.Extrema), len(fine.Extrema))
+	}
+	for i := range coarse.Extrema {
+		if relErr(coarse.Extrema[i].X, fine.Extrema[i].X) > 1e-12 {
+			t.Errorf("extremum %d moved: %v vs %v", i, coarse.Extrema[i].X, fine.Extrema[i].X)
+		}
+	}
+}
+
+// TestMetamorphicInvariantObservationIsPassive: Record-mode checking
+// must be a pure observer — the solved trajectory is identical with and
+// without the guard attached.
+func TestMetamorphicInvariantObservationIsPassive(t *testing.T) {
+	p := PaperExample()
+	plain, err := Solve(p, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := Solve(p, SolveOptions{Invariants: invariant.NewPolicy(invariant.Record)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Outcome != guarded.Outcome || plain.Rho != guarded.Rho {
+		t.Errorf("observer changed the verdict: (%v, %v) vs (%v, %v)",
+			plain.Outcome, plain.Rho, guarded.Outcome, guarded.Rho)
+	}
+	if len(plain.X) != len(guarded.X) {
+		t.Fatalf("sample counts differ: %d vs %d", len(plain.X), len(guarded.X))
+	}
+	for i := range plain.X {
+		if plain.X[i] != guarded.X[i] || plain.Y[i] != guarded.Y[i] {
+			t.Fatalf("sample %d differs: (%v, %v) vs (%v, %v)",
+				i, plain.X[i], plain.Y[i], guarded.X[i], guarded.Y[i])
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if got == want {
+		return 0
+	}
+	return math.Abs(got-want) / math.Max(math.Abs(want), 1e-300)
+}

@@ -102,26 +102,26 @@ func (p Params) Validate() error {
 	if !(p.C > 0) || math.IsInf(p.C, 0) {
 		return fail("C=%v must be positive and finite", p.C)
 	}
-	if !(p.Ru > 0) {
-		return fail("Ru=%v must be positive", p.Ru)
+	if !(p.Ru > 0) || math.IsInf(p.Ru, 0) {
+		return fail("Ru=%v must be positive and finite", p.Ru)
 	}
-	if !(p.Gi > 0) {
-		return fail("Gi=%v must be positive", p.Gi)
+	if !(p.Gi > 0) || math.IsInf(p.Gi, 0) {
+		return fail("Gi=%v must be positive and finite", p.Gi)
 	}
-	if !(p.Gd > 0) {
-		return fail("Gd=%v must be positive", p.Gd)
+	if !(p.Gd > 0) || math.IsInf(p.Gd, 0) {
+		return fail("Gd=%v must be positive and finite", p.Gd)
 	}
-	if !(p.W > 0) {
-		return fail("W=%v must be positive", p.W)
+	if !(p.W > 0) || math.IsInf(p.W, 0) {
+		return fail("W=%v must be positive and finite", p.W)
 	}
 	if !(p.Pm > 0) || p.Pm > 1 {
 		return fail("Pm=%v must be in (0, 1]", p.Pm)
 	}
-	if !(p.Q0 > 0) {
-		return fail("Q0=%v must be positive", p.Q0)
+	if !(p.Q0 > 0) || math.IsInf(p.Q0, 0) {
+		return fail("Q0=%v must be positive and finite", p.Q0)
 	}
-	if !(p.B > p.Q0) {
-		return fail("B=%v must exceed Q0=%v", p.B, p.Q0)
+	if !(p.B > p.Q0) || math.IsInf(p.B, 0) {
+		return fail("B=%v must exceed Q0=%v and be finite", p.B, p.Q0)
 	}
 	if p.Qsc != 0 && (p.Qsc <= p.Q0 || p.Qsc > p.B) {
 		return fail("Qsc=%v must satisfy Q0 < Qsc <= B", p.Qsc)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"bcnphase/internal/invariant"
 )
 
 // Outcome classifies how a stitched trajectory ended.
@@ -107,6 +109,10 @@ type Trajectory struct {
 	Rho float64
 	// EndT, EndX, EndY is the final state.
 	EndT, EndX, EndY float64
+	// Violations tallies the runtime invariant violations observed by
+	// the checker attached via SolveOptions.Invariants (zero when no
+	// checker was attached or the run was clean).
+	Violations invariant.Stats
 
 	// launchEnd is the time through which boundary-resting samples are
 	// excused from the extremes (0, or the warm-up duration).
@@ -171,6 +177,16 @@ type SolveOptions struct {
 	// CycleTol is the relative tolerance for declaring a limit cycle
 	// from the contraction ratio (default 1e-6).
 	CycleTol float64
+	// Invariants optionally attaches a runtime invariant checker: every
+	// sampled point is checked for state finiteness, queue and rate
+	// bounds, σ-branch consistency and a monotone sample clock. Under
+	// the Strict policy the first violation aborts Solve with a
+	// *invariant.InvariantError; under Record/Clamp the run continues
+	// (Clamp projects samples back into the feasible strip) and the
+	// tallies land in Trajectory.Violations. A Record/Clamp checker also
+	// lets Solve integrate through parameter sets Params.Validate
+	// rejects, recording the breakage instead of refusing the run.
+	Invariants *invariant.Checker
 }
 
 func (o SolveOptions) withDefaults(p Params) SolveOptions {
@@ -195,12 +211,33 @@ func (o SolveOptions) withDefaults(p Params) SolveOptions {
 // Solve stitches closed-form arcs of the linearized switched system from
 // the initial state, enforcing the buffer strip and classifying the
 // outcome. It is the analytic engine behind every phase-portrait figure
-// and stability verdict in this repository.
+// and stability verdict in this repository. When SolveOptions.Invariants
+// attaches a checker, every sampled point is self-checked at runtime and
+// the violation tallies are returned in Trajectory.Violations.
 func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
+	tr, err := solve(p, opts)
+	if tr != nil {
+		tr.Violations = opts.Invariants.Stats()
+	}
+	return tr, err
+}
+
+func solve(p Params, opts SolveOptions) (*Trajectory, error) {
+	chk := opts.Invariants
 	if err := p.Validate(); err != nil {
-		return nil, err
+		// A Strict checker turns the rejection into a structured
+		// violation; Record/Clamp checkers log it and integrate through
+		// the broken parameters so downstream guards can show the
+		// consequences. Without a checker the historical contract holds.
+		if !chk.Enabled() {
+			return nil, err
+		}
+		if ferr := chk.Fail(PredParamsValid, 0, err.Error()); ferr != nil {
+			return nil, ferr
+		}
 	}
 	opts = opts.withDefaults(p)
+	guard := newSolveGuard(chk, p, !opts.IgnoreBuffer)
 	k := p.K()
 	tr := &Trajectory{
 		Params: p,
@@ -217,7 +254,7 @@ func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
 			return nil, err
 		}
 		tr.launchEnd = t0
-		tGlobal, y, err = appendWarmup(tr, p, *opts.WarmupFromRate, opts.SamplesPerArc)
+		tGlobal, y, err = appendWarmup(tr, guard, p, *opts.WarmupFromRate, opts.SamplesPerArc)
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +279,19 @@ func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
 		lin := p.RegionLinear(region)
 		arc, err := NewArc(lin.M, lin.N, k, x, y)
 		if err != nil {
-			return nil, err
+			// An unconstructible regime (e.g. a negative gain slipped
+			// past validation under Record/Clamp) aborts a Strict run
+			// with a structured violation and ends a Record/Clamp run
+			// gracefully at the horizon with the breakage tallied.
+			if !chk.Enabled() {
+				return nil, err
+			}
+			if ferr := chk.Fail(PredRegimeValid, tGlobal, err.Error()); ferr != nil {
+				return nil, ferr
+			}
+			finish(tr, tGlobal, x, y)
+			tr.Outcome = OutcomeHorizon
+			return tr, nil
 		}
 		eps := 1e-9 * arc.TimeScale()
 
@@ -268,7 +317,9 @@ func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
 		// Buffer enforcement: earliest boundary hit inside (eps, tEnd].
 		if !opts.IgnoreBuffer {
 			if tb, hi, ok := firstBoundaryHit(arc, eps, tEnd, xLo, xHi); ok {
-				sampleArc(tr, arc, tGlobal, tb, opts.SamplesPerArc, x, y)
+				if err := sampleArc(tr, guard, region, arc, tGlobal, tb, opts.SamplesPerArc, x, y); err != nil {
+					return nil, err
+				}
 				xb, yb := arc.At(tb)
 				finish(tr, tGlobal+tb, xb, yb)
 				if hi {
@@ -280,7 +331,9 @@ func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
 			}
 		}
 
-		sampleArc(tr, arc, tGlobal, tEnd, opts.SamplesPerArc, x, y)
+		if err := sampleArc(tr, guard, region, arc, tGlobal, tEnd, opts.SamplesPerArc, x, y); err != nil {
+			return nil, err
+		}
 		tr.Segments = append(tr.Segments, Segment{
 			Region: region, Kind: arc.Kind(), T0: tGlobal, Duration: tEnd, X0: x, Y0: y,
 		})
@@ -352,7 +405,7 @@ func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
 
 // appendWarmup emits the empty-queue acceleration phase onto tr and
 // returns the elapsed time and final y (which is 0 by construction).
-func appendWarmup(tr *Trajectory, p Params, mu float64, samples int) (tEnd, yEnd float64, err error) {
+func appendWarmup(tr *Trajectory, guard *solveGuard, p Params, mu float64, samples int) (tEnd, yEnd float64, err error) {
 	t0, err := p.WarmupTime(mu)
 	if err != nil {
 		return 0, 0, err
@@ -361,7 +414,11 @@ func appendWarmup(tr *Trajectory, p Params, mu float64, samples int) (tEnd, yEnd
 	accel := p.A() * p.Q0
 	for i := 0; i <= samples; i++ {
 		t := t0 * float64(i) / float64(samples)
-		appendPoint(tr, t, -p.Q0, y0+accel*t)
+		x, y := -p.Q0, y0+accel*t
+		if x, y, err = guard.point(Increase, t, x, y); err != nil {
+			return 0, 0, err
+		}
+		appendPoint(tr, t, x, y)
 	}
 	tr.Segments = append(tr.Segments, Segment{
 		Region: Increase, Kind: ArcCritical /* degenerate boundary slide */, T0: 0, Duration: t0, X0: -p.Q0, Y0: y0,
@@ -383,16 +440,26 @@ func glideTime(arc Arc, tolX, tolY float64) float64 {
 	return t
 }
 
-// sampleArc appends the arc polyline on [0, tEnd] at the given resolution.
+// sampleArc appends the arc polyline on [0, tEnd] at the given resolution,
+// running every sample through the invariant guard (which may clamp it).
 // The entry state (x0, y0) is used verbatim for the first sample so that
 // closed-form roundoff does not perturb recorded junction points.
-func sampleArc(tr *Trajectory, arc Arc, tGlobal, tEnd float64, samples int, x0, y0 float64) {
+func sampleArc(tr *Trajectory, guard *solveGuard, region Region, arc Arc, tGlobal, tEnd float64, samples int, x0, y0 float64) error {
+	x0, y0, err := guard.point(region, tGlobal, x0, y0)
+	if err != nil {
+		return err
+	}
 	appendPoint(tr, tGlobal, x0, y0)
 	for i := 1; i <= samples; i++ {
 		t := tEnd * float64(i) / float64(samples)
 		x, y := arc.At(t)
+		x, y, err := guard.point(region, tGlobal+t, x, y)
+		if err != nil {
+			return err
+		}
 		appendPoint(tr, tGlobal+t, x, y)
 	}
+	return nil
 }
 
 func appendPoint(tr *Trajectory, t, x, y float64) {

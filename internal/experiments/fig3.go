@@ -64,7 +64,7 @@ func Fig3() (*Report, error) {
 	}
 	var charts []NamedChart
 	for _, sp := range specimens {
-		tr, err := core.Solve(sp.params, sp.opts)
+		tr, err := core.Solve(sp.params, guarded(sp.opts))
 		if err != nil {
 			return nil, fmt.Errorf("fig3 %s: %w", sp.name, err)
 		}

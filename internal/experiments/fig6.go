@@ -21,12 +21,12 @@ func Fig6() (*Report, error) {
 		Description: "a < 4pm²C²/w² and b < 4pm²C/w²: the queue moves along " +
 			"logarithmic spirals in both regions, alternating increase/decrease rounds.",
 	}
-	tr, err := core.Solve(p, core.SolveOptions{
+	tr, err := core.Solve(p, guarded(core.SolveOptions{
 		DisableShortCircuit: true,
 		MaxArcs:             12, // six rounds for the figure
 		SamplesPerArc:       128,
 		IgnoreBuffer:        false,
-	})
+	}))
 	if err != nil {
 		return nil, fmt.Errorf("fig6: %w", err)
 	}

@@ -29,12 +29,12 @@ func Fig7() (*Report, error) {
 	}
 
 	// (a) Quasi-closed orbit.
-	tr, err := core.Solve(p, core.SolveOptions{
+	tr, err := core.Solve(p, guarded(core.SolveOptions{
 		IgnoreBuffer:        true,
 		DisableShortCircuit: true,
 		MaxArcs:             10,
 		SamplesPerArc:       128,
-	})
+	}))
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}

@@ -16,11 +16,11 @@ func caseFigure(id, figName string, kind core.CaseKind, desc string) (*Report, *
 		return nil, nil, fmt.Errorf("%s: parameters are %v, want %v", id, p.Case(), kind)
 	}
 	rep := &Report{ID: id, Title: figName, Description: desc}
-	tr, err := core.Solve(p, core.SolveOptions{
+	tr, err := core.Solve(p, guarded(core.SolveOptions{
 		DisableShortCircuit: true,
 		MaxArcs:             12,
 		SamplesPerArc:       128,
-	})
+	}))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", id, err)
 	}

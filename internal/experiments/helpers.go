@@ -5,9 +5,25 @@ import (
 	"math"
 
 	"bcnphase/internal/core"
+	"bcnphase/internal/invariant"
 	"bcnphase/internal/phaseplane"
 	"bcnphase/internal/plot"
 )
+
+// InvariantPolicy is the runtime invariant-checking policy applied to
+// every trajectory solved by the experiments in this package (via the
+// guarded helper). The zero value is invariant.Off; cmd/bcnreport sets
+// it from its -invariants flag before running the registry. It must not
+// be changed while experiments are running.
+var InvariantPolicy invariant.Policy
+
+// guarded attaches the package-level invariant policy to solver options.
+// Every experiment routes its core.Solve options through here so one
+// flag guards the whole evaluation batch.
+func guarded(o core.SolveOptions) core.SolveOptions {
+	o.Invariants = invariant.NewPolicy(InvariantPolicy)
+	return o
+}
 
 // phaseChart builds an empty phase-plane chart for parameter set p with
 // the standard annotations of the paper's figures: the switching line

@@ -48,7 +48,7 @@ func PaperScale() (*Report, error) {
 	for i, c := range cases {
 		q := p
 		q.B = c.buffer
-		tr, err := core.Solve(q, core.SolveOptions{})
+		tr, err := core.Solve(q, guarded(core.SolveOptions{}))
 		if err != nil {
 			return nil, fmt.Errorf("paperscale: %w", err)
 		}

@@ -167,6 +167,7 @@ func Registry() []Entry {
 		{"delay", DelaySensitivity, "propagation-delay sensitivity of the fluid approximation"},
 		{"paperscale", PaperScale, "packet-level replay of the Theorem 1 example"},
 		{"x5", FaultTolerance, "strong stability under feedback loss × delay jitter"},
+		{"xcheck", CrossValidation, "closed-form vs numerical cross-validation self-check"},
 	}
 }
 

@@ -83,7 +83,7 @@ func Theorem1Example() (*Report, error) {
 	// example parameters (with ample buffer so nothing clips).
 	q := p
 	q.B = bound * 1.05
-	tr, err := core.Solve(q, core.SolveOptions{})
+	tr, err := core.Solve(q, guarded(core.SolveOptions{}))
 	if err != nil {
 		return nil, fmt.Errorf("theorem1: %w", err)
 	}

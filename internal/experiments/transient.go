@@ -31,7 +31,7 @@ func TransientSweep() (*Report, error) {
 	for _, w := range ws {
 		p := base
 		p.W = w
-		tr, err := core.Solve(p, core.SolveOptions{})
+		tr, err := core.Solve(p, guarded(core.SolveOptions{}))
 		if err != nil {
 			return nil, fmt.Errorf("transient w=%v: %w", w, err)
 		}
@@ -62,7 +62,7 @@ func TransientSweep() (*Report, error) {
 	for _, pm := range pms {
 		p := base
 		p.Pm = pm
-		tr, err := core.Solve(p, core.SolveOptions{})
+		tr, err := core.Solve(p, guarded(core.SolveOptions{}))
 		if err != nil {
 			return nil, fmt.Errorf("transient pm=%v: %w", pm, err)
 		}

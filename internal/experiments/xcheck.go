@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/invariant/xcheck"
+	"bcnphase/internal/plot"
+)
+
+// CrossValidation runs the closed-form cross-validation harness
+// (internal/invariant/xcheck) over the paper's worked example, the
+// figure-scale example and the Case 2–5 classification sets: each
+// stitched closed-form trajectory is compared against an independent
+// numerical integration of the same switched field, and the Theorem 1
+// verdict is checked against the trajectory's strong-stability verdict.
+// Any drift past tolerance or theorem/trajectory contradiction fails
+// the experiment — this is the repo's self-check that the analysis and
+// the solver still agree.
+func CrossValidation() (*Report, error) {
+	rep := &Report{
+		ID:    "xcheck",
+		Title: "Closed-form vs numerical cross-validation",
+		Description: "Stitched closed-form arcs vs independent RK45 integration of the switched " +
+			"field: switching-line crossings, first-round queue extrema and the Theorem 1 chain.",
+	}
+
+	sets := []struct {
+		name string
+		p    core.Params
+	}{
+		{"paper (N=50, C=10G)", core.PaperExample()},
+		{"figure (N=2, C=1G)", core.FigureExample()},
+		{"case2 (node/spiral)", core.CaseExample(core.Case2)},
+		{"case3 (spiral/node)", core.CaseExample(core.Case3)},
+		{"case4 (node/node)", core.CaseExample(core.Case4)},
+		{"case5 (boundary)", core.CaseExample(core.Case5)},
+	}
+
+	table := Table{
+		Name:   "cross-validation",
+		Header: []string{"parameter set", "checks", "max drift", "theorem1", "strongly stable", "flag"},
+	}
+	driftChart := plot.NewChart("Analytic vs numeric drift per check", "check index", "relative drift")
+	worst, tol := 0.0, 0.0
+	for _, s := range sets {
+		r, err := xcheck.CrossValidate(s.p, xcheck.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("xcheck %s: %w", s.name, err)
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("xcheck %s: %w", s.name, err)
+		}
+		max := 0.0
+		var xs, ys []float64
+		for i, c := range r.Comparisons {
+			if c.Drift > max {
+				max = c.Drift
+			}
+			xs = append(xs, float64(i))
+			ys = append(ys, c.Drift)
+		}
+		driftChart.Add(plot.Series{Name: s.name, X: xs, Y: ys, Points: true})
+		if max > worst {
+			worst = max
+		}
+		tol = r.Tol
+		flag := r.Stability.Flag
+		if flag == "" {
+			flag = "-"
+		}
+		table.Rows = append(table.Rows, []string{
+			s.name,
+			fmt.Sprintf("%d", len(r.Comparisons)),
+			fmt.Sprintf("%.3g", max),
+			fmt.Sprintf("%v", r.Stability.Satisfied),
+			fmt.Sprintf("%v", r.Stability.StronglyStable),
+			flag,
+		})
+	}
+	rep.Tables = append(rep.Tables, table)
+	driftChart.AddHLine(tol, "tolerance", "#cc0000")
+	rep.Charts = append(rep.Charts, NamedChart{Name: "drift", Chart: driftChart})
+	rep.AddNumber("worst relative drift", worst, "")
+	rep.AddNumber("drift tolerance", tol, "")
+
+	// The paper example itself must carry the strong-stability flag: its
+	// 5 Mbit buffer sits below the ≈13.8 Mbit Theorem 1 bound, and the
+	// trajectory confirms the violation.
+	paper, err := xcheck.CrossValidate(core.PaperExample(), xcheck.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("xcheck paper: %w", err)
+	}
+	if paper.Stability.Flag == "" {
+		rep.Notes = append(rep.Notes,
+			"UNEXPECTED: the paper's undersized buffer raised no strong-stability flag")
+	} else {
+		rep.Notes = append(rep.Notes, "paper example: "+paper.Stability.Flag)
+	}
+	rep.AddNumber("theorem1 bound (paper example)", paper.Stability.Bound, "bits")
+	return rep, nil
+}

@@ -97,6 +97,15 @@ type Sim struct {
 	seq       uint64
 	events    eventHeap
 	processed uint64
+
+	// Monitor, when non-nil, observes every event timestamp right after
+	// the event's callback ran inside RunChecked (and Run). A non-nil
+	// return stops the run immediately with the clock left at the
+	// event's time; the error is returned by RunChecked. The runtime
+	// invariant guards hook in here to verify event-queue ordering and
+	// to surface Strict-policy violations raised inside event callbacks
+	// without waiting for the next budget check.
+	Monitor func(at Nanos) error
 }
 
 // NewSim returns an engine at time zero.
@@ -159,6 +168,11 @@ func (s *Sim) RunChecked(until Nanos, every uint64, check func() error) error {
 		s.now = popped.at
 		s.processed++
 		popped.fn()
+		if s.Monitor != nil {
+			if err := s.Monitor(popped.at); err != nil {
+				return err
+			}
+		}
 		if check != nil && every > 0 && s.processed%every == 0 {
 			if err := check(); err != nil {
 				return err

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"math"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/invariant"
+)
+
+// PredEventOrder flags a discrete event executing out of timestamp order
+// (the event heap's contract). The remaining predicates are shared with
+// the fluid layer via the core constants so violation tallies aggregate
+// under the same keys across packet and fluid runs.
+const PredEventOrder = "event-order"
+
+// netGuard evaluates the packet-level model invariants during a run. All
+// methods are nil-safe; a disabled guard costs one branch per call site.
+//
+// Violations raised inside event callbacks cannot propagate an error up
+// through the event loop directly, so under the Strict policy the guard
+// parks the *invariant.InvariantError in err and the Sim.Monitor hook
+// (wired in RunContext) returns it after the offending event, aborting
+// the run at that timestamp.
+type netGuard struct {
+	chk  *invariant.Checker
+	cfg  *Config
+	last Nanos // previous event timestamp, for the ordering check
+	err  error // parked Strict abort
+}
+
+// newNetGuard builds the guard for the configured policy; Off yields nil.
+func newNetGuard(cfg *Config) (*netGuard, error) {
+	c, err := invariant.New(invariant.Config{Policy: cfg.Invariants})
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, nil
+	}
+	return &netGuard{chk: c, cfg: cfg}, nil
+}
+
+func (g *netGuard) enabled() bool { return g != nil && g.chk.Enabled() }
+
+// stats returns the tallies (zero value when disabled).
+func (g *netGuard) stats() invariant.Stats {
+	if g == nil {
+		return invariant.Stats{}
+	}
+	return g.chk.Stats()
+}
+
+// park records a Strict abort for the Monitor hook to surface.
+func (g *netGuard) park(err error) {
+	if err != nil && g.err == nil {
+		g.err = err
+	}
+}
+
+// monitor is the Sim.Monitor hook: it checks event ordering and surfaces
+// any parked Strict violation.
+func (g *netGuard) monitor(at Nanos) error {
+	if !g.enabled() {
+		return nil
+	}
+	if at < g.last {
+		g.park(g.chk.Failf(PredEventOrder, at.Seconds(),
+			"event at t=%dns executed after t=%dns", at, g.last))
+	} else {
+		g.last = at
+	}
+	return g.err
+}
+
+// queue checks (and under Clamp projects) the bottleneck occupancy
+// against 0 ≤ q ≤ B at time now. This runs on every frame arrival and
+// departure, so the clean path is branch-only: time conversion and
+// detail formatting happen only once a check has already failed.
+func (g *netGuard) queue(now Nanos, queueBits float64) float64 {
+	if !g.enabled() {
+		return queueBits
+	}
+	if math.IsNaN(queueBits) || math.IsInf(queueBits, 0) {
+		g.park(g.chk.Failf(core.PredFinite, now.Seconds(), "queue occupancy is %v", queueBits))
+		return queueBits
+	}
+	tol := 1e-9 * g.cfg.BufferBits
+	if queueBits >= -tol && queueBits <= g.cfg.BufferBits+tol {
+		return queueBits
+	}
+	v, err := g.chk.Range(core.PredQueueBounds, now.Seconds(), queueBits, 0, g.cfg.BufferBits, tol)
+	g.park(err)
+	return v
+}
+
+// cpSync cross-checks the congestion point's queue accounting against the
+// switch's own occupancy: both count the same FIFO, so divergence means a
+// bookkeeping bug in one of the layers.
+func (g *netGuard) cpSync(now Nanos, switchBits, cpBits float64) {
+	if !g.enabled() {
+		return
+	}
+	if math.Abs(switchBits-cpBits) <= 1e-6*math.Max(1, g.cfg.BufferBits) {
+		return
+	}
+	g.park(g.chk.Failf("cp-queue-sync", now.Seconds(),
+		"congestion point tracks q=%g, switch holds q=%g", cpBits, switchBits))
+}
+
+// sourceRate checks one source's sending rate at a recorder sample:
+// finite and within [0, LineRate] (with slack for rounding). Rates are
+// owned by the rate regulators, so out-of-range values are recorded, not
+// clamped, even under the Clamp policy.
+func (g *netGuard) sourceRate(now Nanos, id int, rate float64) {
+	if !g.enabled() {
+		return
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		g.park(g.chk.Failf(core.PredFinite, now.Seconds(), "source %d rate is %v", id, rate))
+		return
+	}
+	tol := 1e-9 * g.cfg.LineRate
+	if rate >= -tol && rate <= g.cfg.LineRate+tol {
+		return
+	}
+	g.park(g.chk.Failf(core.PredRateBounds, now.Seconds(),
+		"source %d rate %g outside [0, %g]", id, rate, g.cfg.LineRate))
+}

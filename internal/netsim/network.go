@@ -13,6 +13,7 @@ import (
 	"bcnphase/internal/bcn"
 	"bcnphase/internal/faults"
 	"bcnphase/internal/fera"
+	"bcnphase/internal/invariant"
 	"bcnphase/internal/qcn"
 	"bcnphase/internal/stats"
 )
@@ -170,6 +171,16 @@ type Config struct {
 	// continuous-feedback assumption); without it sources only begin
 	// receiving positive BCN messages after their first negative one.
 	PreAssociate bool
+
+	// Invariants selects the runtime invariant-checking policy for the
+	// run: event-queue ordering, queue occupancy within [0, B],
+	// congestion-point/switch queue accounting agreement, and source
+	// rates within [0, LineRate] at every recorder sample. Off (the zero
+	// value) checks nothing; Record tallies violations into
+	// Result.Invariants; Strict aborts the run at the first violation
+	// with a *invariant.InvariantError; Clamp projects the switch
+	// occupancy back into [0, B] and counts the correction.
+	Invariants invariant.Policy
 }
 
 // Validate checks the scenario.
@@ -238,6 +249,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("netsim: %w", err)
 		}
 	}
+	if err := (invariant.Config{Policy: c.Invariants}).Validate(); err != nil {
+		return fmt.Errorf("netsim: %w", err)
+	}
 	return nil
 }
 
@@ -291,9 +305,10 @@ func (s *Source) RateAt(now float64) float64 {
 
 // Network is an instantiated scenario.
 type Network struct {
-	cfg  Config
-	sim  *Sim
-	plan *faults.Plan // nil when Config.Faults is nil
+	cfg   Config
+	sim   *Sim
+	plan  *faults.Plan // nil when Config.Faults is nil
+	guard *netGuard    // nil when Config.Invariants is Off
 
 	sources []*Source
 	cp      CongestionController // nil when the control loop is disabled
@@ -349,6 +364,11 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.plan = plan
 	}
+	guard, err := newNetGuard(&n.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	n.guard = guard
 	var fbScale float64
 	if cfg.BCN {
 		switch cfg.Scheme {
@@ -519,6 +539,9 @@ type Result struct {
 	// SimSeconds is the simulated time actually covered; it is shorter
 	// than the requested duration when a run was aborted by a budget.
 	SimSeconds float64
+	// Invariants tallies the runtime invariant violations observed under
+	// Config.Invariants (zero when checking is off or the run was clean).
+	Invariants invariant.Stats
 }
 
 // sojournStats returns the mean and 99th-percentile of the sojourn
@@ -659,14 +682,19 @@ func (n *Network) RunContext(ctx context.Context, duration float64) (*Result, er
 		n.recQ = append(n.recQ, n.queueBits)
 		agg := 0.0
 		nowSec := n.sim.Now().Seconds()
-		for _, s := range n.sources {
-			agg += s.RateAt(nowSec)
+		for i, s := range n.sources {
+			r := s.RateAt(nowSec)
+			n.guard.sourceRate(n.sim.Now(), i, r)
+			agg += r
 		}
 		n.recRate = append(n.recRate, agg)
 		_ = n.sim.After(sampleEvery, rec)
 	}
 	rec()
 
+	if n.guard.enabled() {
+		n.sim.Monitor = n.guard.monitor
+	}
 	check, every := budgetCheck(ctx, n.sim, n.cfg.MaxEvents, n.cfg.MaxWallClock)
 	runErr := n.sim.RunChecked(until, every, check)
 
@@ -706,6 +734,7 @@ func (n *Network) RunContext(ctx context.Context, duration float64) (*Result, er
 		MalformedMsgs:     n.malformedMsgs,
 		MisdeliveredMsgs:  n.misdeliveredMsgs,
 		SimSeconds:        elapsed,
+		Invariants:        n.guard.stats(),
 	}
 	res.MeanSojourn, res.P99Sojourn = sojournStats(n.sojourns)
 	if n.cp != nil {
@@ -769,12 +798,14 @@ func (n *Network) switchArrive(f frame) {
 	f.enq = n.sim.Now()
 	n.queue = append(n.queue, f)
 	n.queueBits += f.bits
+	n.queueBits = n.guard.queue(n.sim.Now(), n.queueBits)
 	if n.queueBits > n.maxQueueBits {
 		n.maxQueueBits = n.queueBits
 	}
 	if n.cp != nil {
 		src := n.sources[f.src]
 		msg := n.cp.OnArrival(bcn.Arrival{SizeBits: f.bits, Src: src.mac, RRT: f.rrt})
+		n.guard.cpSync(n.sim.Now(), n.queueBits, n.cp.QueueBits())
 		if msg != nil {
 			// Sampling blackouts suppress the generated feedback while
 			// the congestion point's queue accounting continues.
@@ -814,8 +845,10 @@ func (n *Network) serveNext() {
 		if n.queueBits < 0 {
 			n.queueBits = 0
 		}
+		n.queueBits = n.guard.queue(n.sim.Now(), n.queueBits)
 		if n.cp != nil {
 			n.cp.OnDeparture(f.bits)
+			n.guard.cpSync(n.sim.Now(), n.queueBits, n.cp.QueueBits())
 		}
 		n.deliveredBits += f.bits
 		n.deliveredFrames++

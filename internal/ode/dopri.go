@@ -31,6 +31,46 @@ type Options struct {
 	// When false only the initial and final states (plus event points)
 	// are kept.
 	Dense bool
+	// StepMonitor, when non-nil, is invoked after every accepted step
+	// (and at a terminal event point) with the new time and state. The
+	// state slice is reused between calls and must not be retained. A
+	// non-nil return aborts the integration and is returned verbatim;
+	// runtime invariant guards hook in here.
+	StepMonitor func(t float64, y []float64) error
+}
+
+// Validate rejects unusable option values with a descriptive error. Zero
+// values are legal everywhere (they mean "use the default"); what is
+// rejected is anything the adaptive driver would otherwise silently
+// misbehave on: NaN or negative tolerances, a non-finite or negative
+// initial step, NaN/negative step caps, a MinStep exceeding MaxStep, and
+// a negative step budget.
+func (o Options) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrOptions, fmt.Sprintf(format, args...))
+	}
+	if o.AbsTol < 0 || math.IsNaN(o.AbsTol) || math.IsInf(o.AbsTol, 0) {
+		return fail("AbsTol=%v must be a finite non-negative number", o.AbsTol)
+	}
+	if o.RelTol < 0 || math.IsNaN(o.RelTol) || math.IsInf(o.RelTol, 0) {
+		return fail("RelTol=%v must be a finite non-negative number", o.RelTol)
+	}
+	if o.InitialStep < 0 || math.IsNaN(o.InitialStep) || math.IsInf(o.InitialStep, 0) {
+		return fail("InitialStep=%v must be finite and non-negative", o.InitialStep)
+	}
+	if o.MaxStep < 0 || math.IsNaN(o.MaxStep) || math.IsInf(o.MaxStep, 0) {
+		return fail("MaxStep=%v must be finite and non-negative", o.MaxStep)
+	}
+	if o.MinStep < 0 || math.IsNaN(o.MinStep) || math.IsInf(o.MinStep, 0) {
+		return fail("MinStep=%v must be finite and non-negative", o.MinStep)
+	}
+	if o.MinStep > 0 && o.MaxStep > 0 && o.MinStep > o.MaxStep {
+		return fail("MinStep=%v exceeds MaxStep=%v", o.MinStep, o.MaxStep)
+	}
+	if o.MaxSteps < 0 {
+		return fail("MaxSteps=%d must be non-negative", o.MaxSteps)
+	}
+	return nil
 }
 
 // DefaultOptions returns the tolerances used throughout this repository:
@@ -68,6 +108,9 @@ func integrate(tb Tableau, f Func, t0 float64, y0 []float64, t1 float64, opts Op
 	}
 	if len(y0) == 0 {
 		return nil, ErrDimension
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
 	n := len(y0)
@@ -171,6 +214,11 @@ func integrate(tb Tableau, f Func, t0 float64, y0 []float64, t1 float64, opts Op
 				sol.Events = append(sol.Events, *hit)
 				if stop {
 					sol.append(hit.T, hit.Y)
+					if opts.StepMonitor != nil {
+						if err := opts.StepMonitor(hit.T, hit.Y); err != nil {
+							return sol, err
+						}
+					}
 					return sol, nil
 				}
 			}
@@ -178,6 +226,11 @@ func integrate(tb Tableau, f Func, t0 float64, y0 []float64, t1 float64, opts Op
 			copy(y, yHigh)
 			if opts.Dense || t >= t1 {
 				sol.append(t, y)
+			}
+			if opts.StepMonitor != nil {
+				if err := opts.StepMonitor(t, y); err != nil {
+					return sol, err
+				}
 			}
 			if tb.FSAL {
 				copy(k[0], k[tb.Stages-1])

@@ -37,6 +37,8 @@ var (
 	// ErrNotFinite is returned when the derivative or state becomes NaN
 	// or infinite during integration.
 	ErrNotFinite = errors.New("ode: state is not finite")
+	// ErrOptions wraps all Options validation failures.
+	ErrOptions = errors.New("ode: invalid options")
 )
 
 // Stepper advances a state vector by one fixed step. Implementations are

@@ -216,6 +216,55 @@ func evalOnce[P, R any](ctx context.Context, p P, fn Func[P, R], timeout time.Du
 	}
 }
 
+// InvariantReporter is implemented by evaluation values that carry
+// runtime invariant tallies (e.g. a trajectory solved under the Record
+// policy). The sweep package itself knows nothing about the model
+// invariants; it only aggregates what the values report.
+type InvariantReporter interface {
+	// InvariantViolations returns the number of violations this point
+	// observed and the first failed predicate ("" when clean).
+	InvariantViolations() (total uint64, firstPredicate string)
+}
+
+// ViolationTally aggregates per-point invariant violations across a
+// completed sweep.
+type ViolationTally struct {
+	// Points is the number of results whose value reports tallies.
+	Points int
+	// Dirty is the number of points with at least one violation.
+	Dirty int
+	// Total sums violations over all points.
+	Total uint64
+	// ByPredicate counts dirty points per first-failed predicate.
+	ByPredicate map[string]int
+}
+
+// TallyViolations sums the invariant tallies of every successful result
+// whose value implements InvariantReporter. Results with errors (or
+// values that do not report) are skipped.
+func TallyViolations[P, R any](results []Result[P, R]) ViolationTally {
+	t := ViolationTally{ByPredicate: make(map[string]int)}
+	for i := range results {
+		if results[i].Err != nil {
+			continue
+		}
+		rep, ok := any(results[i].Value).(InvariantReporter)
+		if !ok {
+			continue
+		}
+		total, first := rep.InvariantViolations()
+		t.Points++
+		t.Total += total
+		if total > 0 {
+			t.Dirty++
+			if first != "" {
+				t.ByPredicate[first]++
+			}
+		}
+	}
+	return t
+}
+
 // Grid2 builds the cartesian product of two axes as point pairs, row
 // major (all ys for the first x, then the next x). An empty axis yields
 // an empty (non-nil) grid — the product of nothing is nothing, not an

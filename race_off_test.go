@@ -1,0 +1,5 @@
+//go:build !race
+
+package bcnphase_test
+
+const raceEnabled = false
