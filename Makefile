@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds metamorphic check smoke-resume clean
+.PHONY: all build test vet race fuzz-seeds metamorphic check smoke-resume soak clean
 
 all: check
 
@@ -35,6 +35,12 @@ check: vet build race fuzz-seeds metamorphic
 # uninterrupted baseline.
 smoke-resume:
 	./scripts/resume_smoke.sh
+
+# Chaos soak for the bcnd serving layer: the in-process concurrent
+# soak under the race detector, then a real-binary SIGTERM drain and
+# restart cycle asserting exit 0 and byte-identical cached resubmits.
+soak:
+	./scripts/soak.sh
 
 clean:
 	rm -rf out

@@ -1,0 +1,319 @@
+// Command bcnd is the supervised simulation service: an HTTP daemon
+// that accepts solve, sweep and netsim job specs as validated JSON,
+// executes them on a bounded worker pool, and degrades gracefully under
+// overload and partial failure (see internal/serve).
+//
+// Admission is bounded: when the waiting room is full new submissions
+// are shed with 429, Retry-After and live queue-depth/utilization
+// feedback. Jobs are deduplicated by content hash — resubmitting a
+// completed job returns the journaled artifact byte-identically — and
+// parameter regions that repeatedly abort under the strict invariant
+// policy are quarantined by a circuit breaker. SIGINT/SIGTERM drain
+// gracefully: admission stops (503), accepted jobs finish, the journal
+// is already durable record-by-record, and the process exits 0.
+//
+// Examples:
+//
+//	bcnd -addr 127.0.0.1:8077 -journal out/bcnd
+//	bcnd -selftest
+//	bcnd -url http://127.0.0.1:8077 -post job.json
+//	bcnd -url http://127.0.0.1:8077 -get <key>
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/invariant"
+	"bcnphase/internal/runstate"
+	"bcnphase/internal/serve"
+)
+
+func main() {
+	ctx, stop, fired := runstate.TrapSignals(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
+		if fired() || runstate.Interrupted(err) {
+			fmt.Fprintln(os.Stderr, "bcnd:", err)
+			os.Exit(runstate.ExitInterrupted)
+		}
+		fmt.Fprintln(os.Stderr, "bcnd:", err)
+		os.Exit(1)
+	}
+}
+
+// startedHook, when non-nil, receives the bound listen address once the
+// server is accepting; tests use it to reach an ephemeral port.
+var startedHook func(addr string)
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcnd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8077", "listen address")
+		workers      = fs.Int("workers", 0, "concurrently executing jobs (0 = default)")
+		queueCap     = fs.Int("queue", 0, "admission queue capacity (0 = 4x workers)")
+		journalDir   = fs.String("journal", "", "run directory for the artifact journal; empty keeps artifacts in memory only")
+		invPol       = fs.String("invariants", "off", "invariant policy for jobs that name none: off, record, strict or clamp")
+		defTimeout   = fs.Duration("default-timeout", 30*time.Second, "per-job budget when the spec names none")
+		maxTimeout   = fs.Duration("max-timeout", 2*time.Minute, "cap on the per-job budget a spec may request")
+		brkFailures  = fs.Int("breaker-failures", 3, "consecutive strict aborts that quarantine a parameter region (negative disables)")
+		brkCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "quarantine length for a tripped region")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for accepted jobs")
+		selftest     = fs.Bool("selftest", false, "run the canary suite against an ephemeral in-process server and exit")
+		clientURL    = fs.String("url", "http://127.0.0.1:8077", "server base URL for -post/-get client modes")
+		postFile     = fs.String("post", "", "client mode: submit the spec in this file (- for stdin) and print the artifact")
+		getKey       = fs.String("get", "", "client mode: fetch the artifact for this job key and print it")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *postFile != "" && *getKey != "":
+		return fmt.Errorf("-post and -get are mutually exclusive")
+	case *postFile != "":
+		return clientPost(ctx, *clientURL, *postFile, out)
+	case *getKey != "":
+		return clientGet(ctx, *clientURL, *getKey, out)
+	}
+
+	policy, err := invariant.ParsePolicy(*invPol)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		BreakerThreshold: *brkFailures,
+		BreakerCooldown:  *brkCooldown,
+		Invariants:       policy,
+	}
+	var journal *runstate.Journal
+	if *journalDir != "" {
+		if err := runstate.EnsureWritableDir(*journalDir); err != nil {
+			return fmt.Errorf("preflight: %w", err)
+		}
+		journal, err = runstate.OpenJournal(filepath.Join(*journalDir, runstate.JournalFileName))
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if d := journal.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "bcnd: journal replay dropped %d corrupt records\n", d)
+		}
+		fmt.Fprintf(out, "bcnd: journal %s replayed %d artifacts\n", journal.Path(), journal.Len())
+		cfg.Cache = journal
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *selftest {
+		return runSelftest(ctx, srv, out)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bcnd: listening on %s\n", ln.Addr())
+	if startedHook != nil {
+		startedHook(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("bcnd: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (503 + Retry-After), let accepted
+	// jobs finish — every completed one is already fsynced in the
+	// journal — then stop the listener. A clean drain exits 0; one that
+	// outlives the deadline exits with the resumable status instead of
+	// pretending it finished.
+	fmt.Fprintln(out, "bcnd: signal received, draining")
+	srv.Drain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.WaitIdle(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("%w: %v", runstate.ErrInterrupted, err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("%w: shutdown: %v", runstate.ErrInterrupted, err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return err
+		}
+	}
+	st := srv.StatusSnapshot()
+	fmt.Fprintf(out, "bcnd: drained cleanly: accepted=%d completed=%d failed=%d shed=%d artifacts=%d\n",
+		st.Accepted, st.Completed, st.Failed, st.Shed, st.JournalLen)
+	return nil
+}
+
+// runSelftest drives canary jobs of every kind through the full HTTP
+// stack on an ephemeral port: success, byte-identical resubmit,
+// malformed rejection and the health endpoints. It is the deploy-time
+// "is this binary sane" check.
+func runSelftest(ctx context.Context, srv *serve.Server, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	canaries := []struct {
+		name string
+		spec serve.Spec
+	}{
+		{"solve", serve.Spec{Kind: serve.KindSolve, Solve: &serve.SolveSpec{Params: core.PaperExample()}}},
+		{"sweep", serve.Spec{Kind: serve.KindSweep, Sweep: &serve.SweepSpec{
+			BOverQ0: 5, GiLo: 0.05, GiHi: 1, GdLo: 1.0 / 512, GdHi: 0.1, Steps: 2,
+		}}},
+		{"netsim", serve.Spec{Kind: serve.KindNetsim, Netsim: &serve.NetsimSpec{
+			N: 4, Capacity: 1e9, BufferBits: 4e6, Q0: 5e5, DurationSec: 0.002, Seed: 1,
+		}}},
+	}
+	for _, c := range canaries {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: selftest interrupted", runstate.ErrInterrupted)
+		}
+		body, err := json.Marshal(c.spec)
+		if err != nil {
+			return err
+		}
+		first, hdr, err := postOnce(ctx, base, body)
+		if err != nil {
+			return fmt.Errorf("selftest %s: %w", c.name, err)
+		}
+		again, hdr2, err := postOnce(ctx, base, body)
+		if err != nil {
+			return fmt.Errorf("selftest %s resubmit: %w", c.name, err)
+		}
+		if hdr2.Get("X-Cache") != "hit" || !bytes.Equal(first, again) {
+			return fmt.Errorf("selftest %s: resubmit not served byte-identically from cache (cache=%q)", c.name, hdr2.Get("X-Cache"))
+		}
+		fmt.Fprintf(out, "bcnd: selftest ok: %s (key %s)\n", c.name, hdr.Get("X-Job-Key"))
+	}
+	// Malformed input must be a 400, never a 500.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte("{{{")))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("selftest: malformed spec got %d, want 400", resp.StatusCode)
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/statusz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("selftest: %s got %d", path, resp.StatusCode)
+		}
+	}
+	fmt.Fprintln(out, "bcnd: selftest ok: malformed-rejection and health endpoints")
+	return nil
+}
+
+func postOnce(ctx context.Context, base string, body []byte) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return raw, resp.Header, nil
+}
+
+// clientPost submits the spec in file (or stdin for "-") and prints the
+// raw artifact bytes to stdout; status metadata goes to stderr so the
+// output stays byte-comparable between runs. Non-2xx responses become
+// exit 1 with the server's error body.
+func clientPost(ctx context.Context, base, file string, out io.Writer) error {
+	var body []byte
+	var err error
+	if file == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return clientDo(req, out)
+}
+
+// clientGet fetches a completed artifact by key.
+func clientGet(ctx context.Context, base, key string, out io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+key, nil)
+	if err != nil {
+		return err
+	}
+	return clientDo(req, out)
+}
+
+func clientDo(req *http.Request, out io.Writer) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("%w: request cancelled", runstate.ErrInterrupted)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bcnd: status=%d cache=%s key=%s retry-after=%s\n",
+		resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get("X-Job-Key"), resp.Header.Get("Retry-After"))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	_, err = out.Write(raw)
+	return err
+}

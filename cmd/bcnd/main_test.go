@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/serve"
+)
+
+// startServer runs the daemon on an ephemeral port and returns its base
+// URL plus a stop function that triggers the graceful drain and returns
+// run's error.
+func startServer(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	startedHook = func(addr string) { addrCh <- addr }
+	t.Cleanup(func() { startedHook = nil })
+
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	var out bytes.Buffer
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, args, &out) }()
+
+	select {
+	case addr := <-addrCh:
+		stop := func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				if !strings.Contains(out.String(), "drained cleanly") && err == nil {
+					t.Errorf("clean exit without drain summary:\n%s", out.String())
+				}
+				return err
+			case <-time.After(10 * time.Second):
+				t.Fatal("server did not exit after drain")
+				return nil
+			}
+		}
+		t.Cleanup(func() { cancel(); <-time.After(0) })
+		return "http://" + addr, stop
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("server died before binding: %v", err)
+		return "", nil
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("server never bound")
+		return "", nil
+	}
+}
+
+func solveBody(t *testing.T) []byte {
+	t.Helper()
+	b, err := json.Marshal(serve.Spec{Kind: serve.KindSolve, Solve: &serve.SolveSpec{Params: core.PaperExample()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestServeSubmitAndGracefulDrain(t *testing.T) {
+	base, stop := startServer(t)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(solveBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	// The signal-driven drain must return nil — the process exits 0.
+	if err := stop(); err != nil {
+		t.Fatalf("graceful drain returned error: %v", err)
+	}
+}
+
+func TestJournalSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := solveBody(t)
+
+	base, stop := startServer(t, "-journal", dir)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, first)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// A restarted daemon answers the resubmit from the journal without
+	// re-executing, byte-identically.
+	base2, stop2 := startServer(t, "-journal", dir)
+	resp2, err := http.Post(base2+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := readAll(t, resp2)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("restart resubmit: status %d cache %q", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("artifact not byte-identical across restart")
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-selftest"}, &out); err != nil {
+		t.Fatalf("selftest failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"selftest ok: solve", "selftest ok: sweep", "selftest ok: netsim", "malformed-rejection"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("selftest output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestClientPostAndGet(t *testing.T) {
+	base, stop := startServer(t)
+	defer stop()
+
+	specFile := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(specFile, solveBody(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var posted bytes.Buffer
+	if err := run(context.Background(), []string{"-url", base, "-post", specFile}, &posted); err != nil {
+		t.Fatalf("-post: %v", err)
+	}
+	var art serve.Artifact
+	if err := json.Unmarshal(posted.Bytes(), &art); err != nil {
+		t.Fatalf("-post output not an artifact: %v", err)
+	}
+	var got bytes.Buffer
+	if err := run(context.Background(), []string{"-url", base, "-get", art.Key}, &got); err != nil {
+		t.Fatalf("-get: %v", err)
+	}
+	if !bytes.Equal(posted.Bytes(), got.Bytes()) {
+		t.Error("-get bytes differ from -post bytes")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown flag": {"-definitely-not-a-flag"},
+		"bad policy":   {"-invariants", "loose"},
+		"post and get": {"-post", "a", "-get", "b"},
+		"missing spec": {"-post", filepath.Join(t.TempDir(), "absent.json")},
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,12 +1,13 @@
 // Command bcnreport regenerates every figure and result of the paper's
 // evaluation into an output directory: SVG charts, CSV series and textual
 // summaries, one set per experiment in DESIGN.md's index. Artifacts are
-// published atomically and SIGINT/SIGTERM stop the batch at the next
-// experiment boundary with the completed artifacts intact.
+// published atomically; SIGINT/SIGTERM or an expired -timeout stop the
+// batch at the next experiment boundary with the completed artifacts
+// intact and exit with the resumable status 130.
 //
 // Example:
 //
-//	bcnreport -out out/
+//	bcnreport -out out/ -timeout 10m
 package main
 
 import (
@@ -41,14 +42,20 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bcnreport", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
 	var (
-		out    = fs.String("out", "out", "output directory")
-		only   = fs.String("only", "", "run a single experiment by ID (e.g. fig6)")
-		list   = fs.Bool("list", false, "list experiment IDs and exit")
-		md     = fs.Bool("md", false, "also write RESULTS.md (markdown) into the output directory")
-		invPol = fs.String("invariants", "off", "runtime invariant checking for every solved trajectory: off, record, strict or clamp")
+		out     = fs.String("out", "out", "output directory")
+		only    = fs.String("only", "", "run a single experiment by ID (e.g. fig6)")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		md      = fs.Bool("md", false, "also write RESULTS.md (markdown) into the output directory")
+		invPol  = fs.String("invariants", "off", "runtime invariant checking for every solved trajectory: off, record, strict or clamp")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole batch; on expiry completed artifacts are kept and the exit status is the resumable 130 (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	policy, err := invariant.ParsePolicy(*invPol)
 	if err != nil {
@@ -70,6 +77,11 @@ func run(ctx context.Context, args []string) error {
 		for _, e := range experiments.Registry() {
 			if e.ID != *only {
 				continue
+			}
+			// The single-experiment path honors the same deadline as the
+			// batch: an expired budget is an interruption, not a failure.
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w: stopped before experiment %s: %v", runstate.ErrInterrupted, e.ID, err)
 			}
 			rep, err := experiments.SafeRun(e)
 			if err != nil {

@@ -93,6 +93,29 @@ func TestRunInterruptedStatus(t *testing.T) {
 	}
 }
 
+// An expired -timeout behaves exactly like a signal: completed
+// artifacts are kept, the rest of the batch is skipped, and the error
+// classifies as "interrupted, resumable" so main exits 130.
+func TestRunTimeoutExpiresAsInterruption(t *testing.T) {
+	dir := t.TempDir()
+	err := run(context.Background(), []string{"-out", dir, "-timeout", "1ns"})
+	if err == nil {
+		t.Fatal("expired timeout reported success")
+	}
+	if !runstate.Interrupted(err) {
+		t.Errorf("expired timeout not classified as interrupted: %v", err)
+	}
+	// The single-experiment path honors the same budget.
+	err = run(context.Background(), []string{"-only", "fig4", "-out", dir, "-timeout", "1ns"})
+	if err == nil || !runstate.Interrupted(err) {
+		t.Errorf("-only with expired timeout: %v", err)
+	}
+	// A generous budget changes nothing.
+	if err := run(context.Background(), []string{"-only", "fig4", "-out", dir, "-timeout", "5m"}); err != nil {
+		t.Fatalf("run with ample timeout: %v", err)
+	}
+}
+
 func TestRunXCheckExperiment(t *testing.T) {
 	dir := t.TempDir()
 	if err := run(context.Background(), []string{"-only", "xcheck", "-out", dir, "-invariants", "strict"}); err != nil {

@@ -1,0 +1,17 @@
+package invariant
+
+import "errors"
+
+// StrictAbort reports whether err is (or wraps) the structured abort of
+// a Strict checker, returning the violated invariant when it is. Serving
+// and batch layers use it to classify a failed run: a strict abort means
+// the *parameters* drove the model out of its feasible set (a property
+// of the input region, worth quarantining), while any other error is an
+// execution failure (worth retrying elsewhere).
+func StrictAbort(err error) (Violation, bool) {
+	var ie *InvariantError
+	if errors.As(err, &ie) {
+		return ie.Violation, true
+	}
+	return Violation{}, false
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a per-region circuit breaker over job outcomes. A region
+// (Spec.RegionKey bucket of the parameter plane) that aborts under the
+// strict invariant policy enough times in a row is opened: submissions
+// to it fail fast with an explicit retry hint instead of occupying a
+// worker just to abort again. After the cooldown the region goes
+// half-open and admits exactly one probe; the probe's outcome closes or
+// re-opens it. All methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	regions   map[string]*breakerRegion
+}
+
+type breakerRegion struct {
+	consecutive int       // consecutive qualifying failures while closed
+	openUntil   time.Time // nonzero while open
+	probing     bool      // a half-open probe is in flight
+	trips       uint64    // times this region has been opened
+}
+
+// RegionStatus is one region's snapshot for /statusz.
+type RegionStatus struct {
+	Region      string `json:"region"`
+	State       string `json:"state"` // "closed", "open", "half-open"
+	Consecutive int    `json:"consecutive_failures"`
+	Trips       uint64 `json:"trips"`
+	// RetryAfterSec is the remaining cooldown for an open region.
+	RetryAfterSec int64 `json:"retry_after_sec,omitempty"`
+}
+
+// NewBreaker builds a breaker that opens a region after threshold
+// consecutive failures for the given cooldown. threshold <= 0 disables
+// tripping entirely (Allow always true); now == nil uses time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		regions:   make(map[string]*breakerRegion),
+	}
+}
+
+// Allow reports whether a job in the region may run now. For an open
+// region it returns false with the remaining cooldown; for a region
+// whose cooldown has elapsed it admits one half-open probe and blocks
+// further submissions until the probe resolves via Success or Failure.
+func (b *Breaker) Allow(region string) (ok bool, retryAfter time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.regions[region]
+	if r == nil || r.openUntil.IsZero() {
+		return true, 0
+	}
+	if rem := r.openUntil.Sub(b.now()); rem > 0 {
+		return false, rem
+	}
+	// Cooldown over: half-open. One probe runs; everyone else waits for
+	// its verdict (a short, bounded retry hint).
+	if r.probing {
+		return false, b.cooldown / 4
+	}
+	r.probing = true
+	return true, 0
+}
+
+// Success records a completed job in the region, closing it.
+func (b *Breaker) Success(region string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r := b.regions[region]; r != nil {
+		r.consecutive = 0
+		r.openUntil = time.Time{}
+		r.probing = false
+	}
+}
+
+// Failure records a qualifying failure (a strict invariant abort) in
+// the region, opening it once the consecutive count reaches the
+// threshold — and immediately re-opening a half-open region whose probe
+// failed.
+func (b *Breaker) Failure(region string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.regions[region]
+	if r == nil {
+		r = &breakerRegion{}
+		b.regions[region] = r
+	}
+	r.consecutive++
+	if r.probing || r.consecutive >= b.threshold {
+		r.openUntil = b.now().Add(b.cooldown)
+		r.probing = false
+		r.trips++
+	}
+}
+
+// Release resolves a half-open probe without a verdict: the probe
+// failed for reasons unrelated to the parameters (deadline, client
+// kill, panic), so the region stays half-open for the next probe
+// instead of being closed on no evidence or locked forever behind a
+// probe that never reported back.
+func (b *Breaker) Release(region string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r := b.regions[region]; r != nil {
+		r.probing = false
+	}
+}
+
+// Snapshot lists every region the breaker has seen, for /statusz.
+func (b *Breaker) Snapshot() []RegionStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]RegionStatus, 0, len(b.regions))
+	for name, r := range b.regions {
+		st := RegionStatus{Region: name, State: "closed", Consecutive: r.consecutive, Trips: r.trips}
+		if !r.openUntil.IsZero() {
+			if rem := r.openUntil.Sub(b.now()); rem > 0 {
+				st.State = "open"
+				st.RetryAfterSec = int64(rem/time.Second) + 1
+			} else {
+				st.State = "half-open"
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/faults"
+	"bcnphase/internal/invariant"
+	"bcnphase/internal/linear"
+	"bcnphase/internal/netsim"
+	"bcnphase/internal/sweep"
+)
+
+// Artifact is the completed-job payload. Its JSON encoding is the
+// served artifact and must be deterministic for a given spec — struct
+// field order is fixed and no timestamps or host state appear — so a
+// resubmitted job can be answered byte-identically from the journal.
+type Artifact struct {
+	Key        string        `json:"key"`
+	Kind       string        `json:"kind"`
+	Invariants string        `json:"invariants"`
+	Solve      *SolveResult  `json:"solve,omitempty"`
+	Sweep      *SweepResult  `json:"sweep,omitempty"`
+	Netsim     *NetsimResult `json:"netsim,omitempty"`
+}
+
+// SolveResult summarizes one stitched trajectory.
+type SolveResult struct {
+	Case           string  `json:"case"`
+	Outcome        string  `json:"outcome"`
+	StronglyStable bool    `json:"strongly_stable"`
+	LinearStable   bool    `json:"linear_stable"`
+	Theorem1OK     bool    `json:"theorem1_ok"`
+	Theorem1Bound  float64 `json:"theorem1_bound_bits"`
+	MaxQueueBits   float64 `json:"max_queue_bits"`
+	MinQueueBits   float64 `json:"min_queue_bits"`
+	Rho            float64 `json:"rho"`
+	Crossings      int     `json:"crossings"`
+	Violations     uint64  `json:"violations"`
+	FirstViolation string  `json:"first_violation,omitempty"`
+}
+
+// SweepResult carries the gain-plane map as rendered CSV rows plus the
+// aggregate tallies.
+type SweepResult struct {
+	Header     string   `json:"header"`
+	Rows       []string `json:"rows"`
+	Points     int      `json:"points"`
+	Failed     int      `json:"failed"`
+	Violations uint64   `json:"violations"`
+}
+
+// NetsimResult summarizes one packet-level run.
+type NetsimResult struct {
+	Events         uint64       `json:"events"`
+	SimSeconds     float64      `json:"sim_seconds"`
+	Throughput     float64      `json:"throughput_bps"`
+	Utilization    float64      `json:"utilization"`
+	MaxQueueBits   float64      `json:"max_queue_bits"`
+	MinQueueAfter  float64      `json:"min_queue_after_fill_bits"`
+	DroppedFrames  uint64       `json:"dropped_frames"`
+	PausesSent     uint64       `json:"pauses_sent"`
+	JainIndex      float64      `json:"jain_index"`
+	MalformedMsgs  uint64       `json:"malformed_msgs"`
+	Faults         faults.Stats `json:"faults"`
+	Violations     uint64       `json:"violations"`
+	FirstViolation string       `json:"first_violation,omitempty"`
+}
+
+// execHook, when set, observes every job just as it starts executing
+// on a worker goroutine; the chaos tests use it to inject panics and
+// stalls into otherwise-healthy jobs. It runs inside sweep.One's
+// supervision, so whatever it does stays contained. Atomic because an
+// abandoned (deadline-exceeded) job goroutine may still be starting
+// while a test swaps the hook.
+var execHook atomic.Pointer[func(Spec)]
+
+// execute runs one validated spec to its artifact bytes under the
+// job's context deadline. Supervision (panic recovery, abandonment of a
+// hung evaluation) comes from sweep.One, so execute can be handed any
+// parameter set that passed validation without risking the caller's
+// goroutine. A strict invariant abort surfaces as an
+// *invariant.InvariantError for the breaker to classify.
+func (s *Server) execute(ctx context.Context, sp Spec, key string) ([]byte, error) {
+	pol, err := invariant.ParsePolicy(sp.Invariants)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if sp.Invariants == "" {
+		pol = s.cfg.Invariants
+	}
+	art, err := sweep.One(ctx, sp, func(ctx context.Context, sp Spec) (*Artifact, error) {
+		if h := execHook.Load(); h != nil {
+			(*h)(sp)
+		}
+		art := &Artifact{Key: key, Kind: sp.Kind, Invariants: pol.String()}
+		switch sp.Kind {
+		case KindSolve:
+			res, err := runSolve(sp.Solve, pol)
+			if err != nil {
+				return nil, err
+			}
+			art.Solve = res
+		case KindSweep:
+			res, err := runSweep(ctx, sp.Sweep, pol)
+			if err != nil {
+				return nil, err
+			}
+			art.Sweep = res
+		case KindNetsim:
+			res, err := runNetsim(ctx, sp.Netsim, pol)
+			if err != nil {
+				return nil, err
+			}
+			art.Netsim = res
+		default:
+			return nil, fmt.Errorf("%w: unknown kind %q", ErrSpec, sp.Kind)
+		}
+		return art, nil
+	}, sweep.Options{PointTimeout: sp.Timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(art)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode artifact: %w", err)
+	}
+	return raw, nil
+}
+
+func runSolve(s *SolveSpec, pol invariant.Policy) (*SolveResult, error) {
+	// Solve first: under a strict policy invalid physics must surface as
+	// the checker's structured abort (the breaker's signal), not as the
+	// linear criterion's plain validation error.
+	tr, err := core.Solve(s.Params, core.SolveOptions{
+		Start:      s.Start,
+		MaxArcs:    s.MaxArcs,
+		Invariants: invariant.NewPolicy(pol),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The linear/Theorem-1 verdicts only exist for valid parameters; a
+	// record/clamp run over broken physics reports them zero-valued.
+	var v linear.Verdict
+	var bound float64
+	if s.Params.Validate() == nil {
+		if v, err = linear.Compare(s.Params); err != nil {
+			return nil, err
+		}
+		bound = core.Theorem1Bound(s.Params)
+	}
+	return &SolveResult{
+		Case:           s.Params.Case().String(),
+		Outcome:        tr.Outcome.String(),
+		StronglyStable: tr.Outcome.StronglyStable(),
+		LinearStable:   v.LinearStable,
+		Theorem1OK:     v.Theorem1OK,
+		Theorem1Bound:  bound,
+		MaxQueueBits:   tr.MaxQueue(),
+		MinQueueBits:   tr.MinQueue(),
+		Rho:            tr.Rho,
+		Crossings:      len(tr.Crossings),
+		Violations:     tr.Violations.Total,
+		FirstViolation: tr.Violations.FirstPredicate(),
+	}, nil
+}
+
+func runSweep(ctx context.Context, s *SweepSpec, pol invariant.Policy) (*SweepResult, error) {
+	base := core.FigureExample()
+	base.B = s.BOverQ0 * base.Q0
+	var points []core.Params
+	for i := 0; i < s.Steps; i++ {
+		p := base
+		p.Gi = geomAt(s.GiLo, s.GiHi, i, s.Steps)
+		for j := 0; j < s.Steps; j++ {
+			q := p
+			q.Gd = geomAt(s.GdLo, s.GdHi, j, s.Steps)
+			points = append(points, q)
+		}
+	}
+	type rowVal struct {
+		CSV        string
+		Violations uint64
+	}
+	// The job already occupies one worker slot; a modest inner pool
+	// keeps a single sweep job from monopolizing the host while the
+	// service runs other work.
+	results, _ := sweep.Run(ctx, points, func(ctx context.Context, p core.Params) (rowVal, error) {
+		if err := ctx.Err(); err != nil {
+			return rowVal{}, err
+		}
+		tr, err := core.Solve(p, core.SolveOptions{Invariants: invariant.NewPolicy(pol)})
+		if err != nil {
+			return rowVal{}, err
+		}
+		return rowVal{
+			CSV: fmt.Sprintf("%g,%g,%s,%v,%g,%g,%d",
+				p.Gi, p.Gd, tr.Outcome, tr.Outcome.StronglyStable(),
+				tr.MaxQueue(), tr.Rho, tr.Violations.Total),
+			Violations: tr.Violations.Total,
+		}, nil
+	}, sweep.Options{Workers: 2, ContinueOnError: true})
+	res := &SweepResult{
+		Header: "gi,gd,outcome,strongly_stable,max_q_bits,rho,violations",
+		Points: len(points),
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			// A strict abort anywhere in the grid is the job's verdict:
+			// the region is quarantinable, and a partial map under strict
+			// policy would be misleading.
+			if _, ok := invariant.StrictAbort(r.Err); ok {
+				return nil, r.Err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res.Failed++
+			continue
+		}
+		res.Rows = append(res.Rows, r.Value.CSV)
+		res.Violations += r.Value.Violations
+	}
+	return res, nil
+}
+
+func runNetsim(ctx context.Context, s *NetsimSpec, pol invariant.Policy) (*NetsimResult, error) {
+	net, err := netsim.New(s.config(pol))
+	if err != nil {
+		return nil, err
+	}
+	res, err := net.RunContext(ctx, s.DurationSec)
+	if err != nil {
+		return nil, err
+	}
+	return &NetsimResult{
+		Events:         res.Events,
+		SimSeconds:     res.SimSeconds,
+		Throughput:     res.Throughput,
+		Utilization:    res.Utilization,
+		MaxQueueBits:   res.MaxQueueBits,
+		MinQueueAfter:  res.MinQueueAfterFill,
+		DroppedFrames:  res.DroppedFrames,
+		PausesSent:     res.PausesSent,
+		JainIndex:      res.JainIndex,
+		MalformedMsgs:  res.MalformedMsgs,
+		Faults:         res.Faults,
+		Violations:     res.Invariants.Total,
+		FirstViolation: res.Invariants.FirstPredicate(),
+	}, nil
+}
+
+func geomAt(lo, hi float64, i, n int) float64 {
+	f := float64(i) / float64(n-1)
+	return lo * math.Pow(hi/lo, f)
+}

@@ -1,0 +1,603 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bcnphase/internal/invariant"
+	"bcnphase/internal/sweep"
+)
+
+// Cache is the server's completed-artifact store, keyed by Spec.Key
+// content hashes. runstate.Journal satisfies it (giving crash-safe,
+// restart-surviving dedup); MemCache is the journal-less fallback.
+// Implementations must be safe for concurrent use.
+type Cache interface {
+	// Lookup returns the stored artifact for key, if present.
+	Lookup(key string) ([]byte, bool)
+	// Record durably stores the artifact (valid JSON) under key.
+	Record(key string, val []byte) error
+	// Len is the number of stored artifacts.
+	Len() int
+}
+
+// MemCache is an in-memory Cache for servers run without a journal
+// directory: dedup works for the process lifetime but does not survive
+// restarts.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache { return &MemCache{m: make(map[string][]byte)} }
+
+// Lookup implements Cache.
+func (c *MemCache) Lookup(key string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Record implements Cache.
+func (c *MemCache) Record(key string, val []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Len implements Cache.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Config configures a Server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// Workers bounds concurrently executing jobs (default 4).
+	Workers int
+	// QueueCap bounds jobs admitted but waiting for a worker; a full
+	// waiting room sheds new submissions with 429 (default 4×Workers).
+	QueueCap int
+	// MaxBodyBytes bounds the request body (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-job budget when the spec names none
+	// (default 30s); MaxTimeout caps what a spec may ask for (default
+	// 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// BreakerThreshold opens a parameter region's circuit after this
+	// many consecutive strict invariant aborts (default 3; negative
+	// disables the breaker). BreakerCooldown is the quarantine length
+	// (default 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Invariants is the policy applied when a spec does not name one.
+	Invariants invariant.Policy
+	// Cache stores completed artifacts for idempotent dedup; nil uses a
+	// fresh MemCache.
+	Cache Cache
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Server is the supervised job service. Create with New, mount
+// Handler, stop with Drain.
+type Server struct {
+	cfg     Config
+	breaker *Breaker
+	cache   Cache
+	now     func() time.Time
+
+	// workerSlots and queueSlots are counting semaphores: a handler
+	// holds a queue slot while waiting and a worker slot while
+	// executing, so len() of each is the live depth for /statusz and
+	// readiness.
+	workerSlots chan struct{}
+	queueSlots  chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	active   int // accepted jobs not yet finished (drain waits on this)
+	inflight map[string]*inflightJob
+	ewmaSecs float64 // completed-job duration estimate for Retry-After
+
+	accepted       atomic.Uint64
+	completed      atomic.Uint64
+	failed         atomic.Uint64
+	shed           atomic.Uint64
+	cacheHits      atomic.Uint64
+	coalesced      atomic.Uint64
+	killed         atomic.Uint64
+	breakerRejects atomic.Uint64
+}
+
+// inflightJob coalesces concurrent submissions of the same spec onto
+// one execution: the leader runs, everyone else waits on done and
+// serves the same bytes.
+type inflightJob struct {
+	done chan struct{}
+	raw  []byte
+	err  error
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.Workers
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = NewMemCache()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Server{
+		cfg:         cfg,
+		breaker:     NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
+		cache:       cfg.Cache,
+		now:         cfg.Now,
+		workerSlots: make(chan struct{}, cfg.Workers),
+		queueSlots:  make(chan struct{}, cfg.QueueCap),
+		inflight:    make(map[string]*inflightJob),
+	}, nil
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{key}", s.handleGet)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return mux
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	// Reason is a machine-readable cause: "malformed-spec", "shed",
+	// "draining", "breaker-open", "deadline", "panic", "killed",
+	// "invariant-abort", "not-found", "internal".
+	Reason string `json:"reason"`
+	// RetryAfterSec mirrors the Retry-After header when retrying makes
+	// sense.
+	RetryAfterSec int64 `json:"retry_after_sec,omitempty"`
+	// QueueDepth and Utilization are the live feedback a shed client
+	// uses to pace its retry (RCP-style explicit feedback: the server
+	// says how congested it is instead of silently dropping).
+	QueueDepth  int     `json:"queue_depth,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+	// Violation carries the invariant detail of a strict abort.
+	Violation string `json:"violation,omitempty"`
+	// Region is the breaker region of a quarantined request.
+	Region string `json:"region,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode failure","reason":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+// reject writes an error response, setting Retry-After when positive.
+func (s *Server) reject(w http.ResponseWriter, status int, retryAfter time.Duration, body errorBody) {
+	if retryAfter > 0 {
+		secs := int64(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		body.RetryAfterSec = secs
+	}
+	writeJSON(w, status, body)
+}
+
+// retryAfter estimates how long a shed client should wait: the waiting
+// room's drain time at the observed mean job duration, clamped to
+// [1s, 60s]. It is explicit feedback, not a promise.
+func (s *Server) retryAfter() time.Duration {
+	s.mu.Lock()
+	mean := s.ewmaSecs
+	s.mu.Unlock()
+	if mean <= 0 {
+		mean = 1
+	}
+	waiting := len(s.queueSlots)
+	secs := mean * float64(waiting+1) / float64(s.cfg.Workers)
+	switch {
+	case secs < 1:
+		secs = 1
+	case secs > 60:
+		secs = 60
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+func (s *Server) utilization() float64 {
+	return float64(len(s.workerSlots)) / float64(s.cfg.Workers)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// beginJob marks one accepted job; it fails when a drain has started,
+// so acceptance and drain cannot race past each other.
+func (s *Server) beginJob() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) endJob() {
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+}
+
+// observeDuration feeds the Retry-After estimator.
+func (s *Server) observeDuration(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	secs := d.Seconds()
+	if s.ewmaSecs == 0 {
+		s.ewmaSecs = secs
+		return
+	}
+	s.ewmaSecs = 0.8*s.ewmaSecs + 0.2*secs
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.reject(w, http.StatusServiceUnavailable, time.Second, errorBody{
+			Error: "server is draining", Reason: "draining",
+		})
+		return
+	}
+	sp, err := DecodeSpec(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Reason: "malformed-spec"})
+		return
+	}
+	key, err := sp.Key()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Reason: "malformed-spec"})
+		return
+	}
+
+	// Idempotent replay: a completed job answers from the artifact
+	// store without touching admission, so resubmits are cheap even
+	// under overload — and byte-identical, because the stored bytes are
+	// served verbatim.
+	if raw, ok := s.cache.Lookup(key); ok {
+		s.cacheHits.Add(1)
+		s.serveArtifact(w, key, raw, "hit")
+		return
+	}
+
+	region := sp.RegionKey()
+	if ok, retry := s.breaker.Allow(region); !ok {
+		s.breakerRejects.Add(1)
+		s.reject(w, http.StatusServiceUnavailable, retry, errorBody{
+			Error:  fmt.Sprintf("parameter region %s is quarantined after repeated invariant aborts", region),
+			Reason: "breaker-open", Region: region,
+		})
+		return
+	}
+
+	// Admission: the waiting room is bounded. No free slot means the
+	// paper's overflow criterion would be violated by accepting — shed
+	// now, with explicit feedback, rather than queue without bound.
+	select {
+	case s.queueSlots <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		s.reject(w, http.StatusTooManyRequests, s.retryAfter(), errorBody{
+			Error: "admission queue full", Reason: "shed",
+			QueueDepth: len(s.queueSlots), Utilization: s.utilization(),
+		})
+		return
+	}
+	releaseQueue := func() { <-s.queueSlots }
+
+	if !s.beginJob() { // drain started while we queued
+		releaseQueue()
+		s.reject(w, http.StatusServiceUnavailable, time.Second, errorBody{
+			Error: "server is draining", Reason: "draining",
+		})
+		return
+	}
+	defer s.endJob()
+	s.accepted.Add(1)
+
+	// Coalesce duplicates of an in-flight job onto its leader.
+	job, leader := s.registerInflight(key)
+	if !leader {
+		releaseQueue()
+		s.coalesced.Add(1)
+		select {
+		case <-job.done:
+		case <-r.Context().Done():
+			s.killed.Add(1)
+			s.reject(w, http.StatusRequestTimeout, 0, errorBody{
+				Error: "client went away while coalesced", Reason: "killed",
+			})
+			return
+		}
+		s.finishResponse(w, key, region, job.raw, job.err, "coalesced")
+		return
+	}
+
+	// Wait for a worker slot; a client that disconnects while queued
+	// kills its own job, nobody else's.
+	select {
+	case s.workerSlots <- struct{}{}:
+	case <-r.Context().Done():
+		releaseQueue()
+		s.killed.Add(1)
+		s.completeInflight(key, job, nil, r.Context().Err())
+		s.reject(w, http.StatusRequestTimeout, 0, errorBody{
+			Error: "client went away while queued", Reason: "killed",
+		})
+		return
+	}
+	releaseQueue()
+
+	start := s.now()
+	raw, execErr := s.execute(r.Context(), sp, key)
+	<-s.workerSlots
+	s.observeDuration(s.now().Sub(start))
+
+	if execErr == nil {
+		// Durability before acknowledgment, like the sweep checkpoint
+		// contract: an artifact the store cannot keep is a failed job,
+		// not a silently volatile success.
+		if err := s.cache.Record(key, raw); err != nil {
+			execErr = fmt.Errorf("serve: record artifact: %w", err)
+			raw = nil
+		}
+	}
+	s.completeInflight(key, job, raw, execErr)
+	s.finishResponse(w, key, region, raw, execErr, "miss")
+}
+
+// registerInflight returns the coalescing entry for key and whether the
+// caller is its leader (first submitter, responsible for execution).
+func (s *Server) registerInflight(key string) (*inflightJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if job, ok := s.inflight[key]; ok {
+		return job, false
+	}
+	job := &inflightJob{done: make(chan struct{})}
+	s.inflight[key] = job
+	return job, true
+}
+
+// completeInflight publishes the leader's outcome to coalesced waiters
+// and retires the entry (the cache answers future duplicates).
+func (s *Server) completeInflight(key string, job *inflightJob, raw []byte, err error) {
+	s.mu.Lock()
+	job.raw, job.err = raw, err
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(job.done)
+}
+
+// finishResponse maps an execution outcome to its HTTP shape and feeds
+// the breaker. Classification, in order: strict invariant abort
+// (quarantinable property of the region), recovered panic (the job
+// died, the pool did not), deadline, client kill, other failure.
+func (s *Server) finishResponse(w http.ResponseWriter, key, region string, raw []byte, err error, cacheState string) {
+	if err == nil {
+		s.completed.Add(1)
+		s.breaker.Success(region)
+		s.serveArtifact(w, key, raw, cacheState)
+		return
+	}
+	s.failed.Add(1)
+	if v, ok := invariant.StrictAbort(err); ok {
+		s.breaker.Failure(region)
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{
+			Error: err.Error(), Reason: "invariant-abort",
+			Violation: v.String(), Region: region,
+		})
+		return
+	}
+	// Non-strict failures release a half-open probe without closing or
+	// re-opening the region: they say nothing about the parameters.
+	s.breaker.Release(region)
+	var pe *sweep.PanicError
+	switch {
+	case errors.As(err, &pe):
+		writeJSON(w, http.StatusInternalServerError, errorBody{
+			Error: "job panicked (worker pool unaffected): " + pe.Error(), Reason: "panic",
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{
+			Error: "job deadline exceeded", Reason: "deadline",
+		})
+	case errors.Is(err, context.Canceled):
+		s.killed.Add(1)
+		writeJSON(w, http.StatusRequestTimeout, errorBody{
+			Error: "job cancelled", Reason: "killed",
+		})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Reason: "internal"})
+	}
+}
+
+func (s *Server) serveArtifact(w http.ResponseWriter, key string, raw []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Job-Key", key)
+	w.Header().Set("X-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	raw, ok := s.cache.Lookup(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no artifact for key " + key, Reason: "not-found"})
+		return
+	}
+	s.cacheHits.Add(1)
+	s.serveArtifact(w, key, raw, "hit")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.isDraining() {
+		s.reject(w, http.StatusServiceUnavailable, time.Second, errorBody{
+			Error: "draining", Reason: "draining",
+		})
+		return
+	}
+	if len(s.queueSlots) >= s.cfg.QueueCap {
+		s.reject(w, http.StatusServiceUnavailable, s.retryAfter(), errorBody{
+			Error: "admission queue at shed threshold", Reason: "shed",
+			QueueDepth: len(s.queueSlots), Utilization: s.utilization(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ready\n"))
+}
+
+// Status is the /statusz snapshot.
+type Status struct {
+	Draining       bool           `json:"draining"`
+	Workers        int            `json:"workers"`
+	QueueCap       int            `json:"queue_cap"`
+	InFlight       int            `json:"in_flight"`
+	Queued         int            `json:"queued"`
+	ActiveJobs     int            `json:"active_jobs"`
+	Utilization    float64        `json:"utilization"`
+	Accepted       uint64         `json:"accepted"`
+	Completed      uint64         `json:"completed"`
+	Failed         uint64         `json:"failed"`
+	Shed           uint64         `json:"shed"`
+	CacheHits      uint64         `json:"cache_hits"`
+	Coalesced      uint64         `json:"coalesced"`
+	Killed         uint64         `json:"killed"`
+	BreakerRejects uint64         `json:"breaker_rejects"`
+	JournalLen     int            `json:"journal_len"`
+	Breaker        []RegionStatus `json:"breaker,omitempty"`
+}
+
+// StatusSnapshot assembles the live Status.
+func (s *Server) StatusSnapshot() Status {
+	s.mu.Lock()
+	draining, active := s.draining, s.active
+	s.mu.Unlock()
+	return Status{
+		Draining:       draining,
+		Workers:        s.cfg.Workers,
+		QueueCap:       s.cfg.QueueCap,
+		InFlight:       len(s.workerSlots),
+		Queued:         len(s.queueSlots),
+		ActiveJobs:     active,
+		Utilization:    s.utilization(),
+		Accepted:       s.accepted.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Shed:           s.shed.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Killed:         s.killed.Load(),
+		BreakerRejects: s.breakerRejects.Load(),
+		JournalLen:     s.cache.Len(),
+		Breaker:        s.breaker.Snapshot(),
+	}
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatusSnapshot())
+}
+
+// Drain stops admission: new submissions get 503 while accepted jobs
+// keep their workers. It is idempotent and returns immediately; pair it
+// with WaitIdle (and http.Server.Shutdown, which waits for in-flight
+// handlers) for a full graceful stop.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// WaitIdle blocks until every accepted job has finished or ctx expires.
+// Combined with Drain it is the serving half of the repository's
+// graceful-shutdown contract: stop admitting, finish in-flight work,
+// then let the process exit 0.
+func (s *Server) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		active := s.active
+		s.mu.Unlock()
+		if active == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain timed out with %d jobs in flight: %w", active, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// ActiveJobs reports the accepted-but-unfinished job count.
+func (s *Server) ActiveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bcnphase/internal/faults"
+	"bcnphase/internal/runstate"
+)
+
+// TestSoak is the chaos soak: eight concurrent clients fire 240 mixed
+// jobs — healthy solves, sweeps, fault-injected netsims, panicking
+// jobs, hung jobs against short deadlines, and strict-invariant
+// poison — at a deliberately undersized server (2 workers, waiting
+// room of 2) backed by a real journal. The invariants asserted:
+//
+//   - Zero accepted-job losses: every 200-keyed artifact stays
+//     retrievable, byte-identically, through drain and across a full
+//     journal close/reopen restart.
+//   - Every shed request gets explicit feedback: 429, Retry-After, and
+//     live queue depth/utilization.
+//   - Failures stay classified: panics → 500, deadlines → 504, strict
+//     aborts → 422, quarantined regions → 503; nothing leaks an
+//     unclassified status.
+//   - The server's own accounting matches the clients' ledger.
+//   - Drain refuses new work while accepted work finishes; the reopened
+//     journal has zero dropped records; no goroutines leak.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped with -short")
+	}
+	checkGoroutines(t)
+	installChaosHook(t)
+
+	jpath := filepath.Join(t.TempDir(), runstate.JournalFileName)
+	j, err := runstate.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workers: 2, QueueCap: 2, Cache: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	const clients = 8
+	const perClient = 30
+	total := clients * perClient
+
+	// The mix is built up front on the test goroutine so client
+	// goroutines never touch testing.T helpers.
+	bodies := make([][]byte, total)
+	for n := range bodies {
+		bodies[n] = marshalSpec(t, soakSpec(n, total))
+	}
+
+	var (
+		mu      sync.Mutex
+		oks     = map[string][]byte{} // key -> artifact bytes
+		okSpecs = map[string][]byte{} // key -> a spec body producing it
+		counts  = map[int]int{}
+		faultsN []string // protocol violations observed by clients
+	)
+	flag := func(format string, args ...any) {
+		faultsN = append(faultsN, fmt.Sprintf(format, args...))
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				n := c*perClient + i
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(bodies[n]))
+				if err != nil {
+					mu.Lock()
+					flag("job %d: transport error: %v", n, err)
+					mu.Unlock()
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var eb errorBody
+				if resp.StatusCode != http.StatusOK {
+					json.Unmarshal(body, &eb)
+				}
+
+				mu.Lock()
+				counts[resp.StatusCode]++
+				switch resp.StatusCode {
+				case http.StatusOK:
+					key := resp.Header.Get("X-Job-Key")
+					if key == "" {
+						flag("job %d: 200 without X-Job-Key", n)
+					}
+					if prev, ok := oks[key]; ok && !bytes.Equal(prev, body) {
+						flag("job %d: key %s returned different bytes", n, key)
+					}
+					oks[key] = body
+					okSpecs[key] = bodies[n]
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						flag("job %d: shed without Retry-After", n)
+					}
+					if eb.Reason != "shed" || eb.RetryAfterSec < 1 || eb.QueueDepth < 1 || eb.Utilization <= 0 {
+						flag("job %d: shed feedback incomplete: %+v", n, eb)
+					}
+				case http.StatusUnprocessableEntity:
+					if eb.Reason != "invariant-abort" || eb.Violation == "" {
+						flag("job %d: 422 body %+v", n, eb)
+					}
+				case http.StatusServiceUnavailable:
+					if eb.Reason != "breaker-open" || resp.Header.Get("Retry-After") == "" {
+						flag("job %d: 503 during storm must be breaker-open with Retry-After: %+v", n, eb)
+					}
+				case http.StatusInternalServerError:
+					if eb.Reason != "panic" {
+						flag("job %d: 500 reason %q", n, eb.Reason)
+					}
+				case http.StatusGatewayTimeout:
+					if eb.Reason != "deadline" {
+						flag("job %d: 504 reason %q", n, eb.Reason)
+					}
+				default:
+					flag("job %d: unclassified status %d: %s", n, resp.StatusCode, body)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(faultsN) > 0 {
+		t.Fatalf("%d protocol violations, first: %s", len(faultsN), faultsN[0])
+	}
+	if counts[200] == 0 || len(oks) == 0 {
+		t.Fatalf("soak produced no successes: %v", counts)
+	}
+	if counts[500] == 0 || counts[504] == 0 || counts[422] == 0 {
+		t.Errorf("chaos mix did not exercise all failure classes: %v", counts)
+	}
+	t.Logf("soak statuses: %v (%d distinct artifacts)", counts, len(oks))
+
+	// Server-side ledger vs the clients'.
+	st := s.StatusSnapshot()
+	if int(st.Shed) != counts[429] {
+		t.Errorf("server counted %d shed, clients saw %d", st.Shed, counts[429])
+	}
+	if st.Shed == 0 {
+		t.Error("soak never saturated admission; load shedding untested")
+	}
+	if int(st.BreakerRejects) != counts[503] {
+		t.Errorf("server counted %d breaker rejects, clients saw %d", st.BreakerRejects, counts[503])
+	}
+	if int(st.Failed) != counts[422]+counts[500]+counts[504] {
+		t.Errorf("server counted %d failed, clients saw %d", st.Failed, counts[422]+counts[500]+counts[504])
+	}
+	if j.Len() != len(oks) {
+		t.Errorf("journal holds %d artifacts, clients collected %d", j.Len(), len(oks))
+	}
+
+	// Drain: new work refused with explicit feedback, accepted work kept.
+	s.Drain()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(bodies[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Reason != "draining" {
+		t.Errorf("submit during drain: status %d reason %q", resp.StatusCode, eb.Reason)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("drain did not settle: %v", err)
+	}
+	// Zero accepted-job losses: every success is still retrievable.
+	for key, want := range oks {
+		got, err := http.Get(ts.URL + "/v1/jobs/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(got.Body)
+		got.Body.Close()
+		if got.StatusCode != http.StatusOK || !bytes.Equal(body, want) {
+			t.Fatalf("artifact %s lost or mutated during drain (status %d)", key, got.StatusCode)
+		}
+	}
+	ts.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the reopened journal is consistent and resubmits are
+	// answered from it byte-identically without re-execution.
+	j2, err := runstate.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Dropped() != 0 {
+		t.Errorf("journal replay dropped %d records after soak", j2.Dropped())
+	}
+	if j2.Len() != len(oks) {
+		t.Errorf("journal lost artifacts across restart: %d vs %d", j2.Len(), len(oks))
+	}
+	s2, err := New(Config{Workers: 2, Cache: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	for key, spec := range okSpecs {
+		resp, err := http.Post(ts2.URL+"/v1/jobs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("restart resubmit of %s: status %d cache %q", key, resp.StatusCode, resp.Header.Get("X-Cache"))
+		}
+		if !bytes.Equal(body, oks[key]) {
+			t.Fatalf("restart resubmit of %s not byte-identical", key)
+		}
+	}
+}
+
+// soakSpec deals job n of the chaos mix. Poison, hangs and strict
+// aborts are minorities; the bulk is healthy work, part of it from a
+// small set of duplicated specs so dedup, coalescing and cache hits
+// all happen under fire.
+func soakSpec(n, total int) Spec {
+	switch {
+	case n%10 == 3: // panics inside the worker → 500, pool survives
+		sp := solveSpec()
+		sp.Solve.MaxArcs = markPanic
+		sp.Solve.Params.Gi = 4 + float64(n%7)/8
+		return sp
+	case n%10 == 7: // hangs 200ms against a 20ms deadline → 504
+		sp := solveSpec()
+		sp.Solve.MaxArcs = markSlow
+		sp.TimeoutMs = 20
+		sp.Solve.Params.Gi = 4 + float64(n%5)/8
+		return sp
+	case n%10 == 5: // broken physics under strict → 422, then breaker 503
+		sp := solveSpec()
+		sp.Invariants = "strict"
+		sp.Solve.Params.Gd = -1 - float64(n%3)/100
+		return sp
+	case n%3 == 0: // unique slow-success jobs clog the workers → shedding
+		sp := solveSpec()
+		sp.Solve.MaxArcs = markStall
+		sp.Solve.Params.Gi = 0.5 + float64(n)/float64(total)
+		return sp
+	case n%7 == 2: // packet-level runs with fault injection
+		sp := netsimSpec()
+		sp.Netsim.Seed = int64(1 + n%4)
+		sp.Netsim.Faults = &faults.Config{Seed: int64(n%3 + 1), FeedbackLoss: 0.25, FeedbackJitterNs: 10_000}
+		return sp
+	case n%11 == 4: // gain-plane sweeps
+		return sweepSpec()
+	default: // healthy solves from a small duplicated set
+		sp := solveSpec()
+		sp.Solve.Params.Gi = []float64{4, 2, 1, 0.5}[n%4]
+		return sp
+	}
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Chaos soak for the bcnd serving layer, in two stages:
+#
+#   1. The in-process soak (internal/serve TestSoak) under the race
+#      detector: 8 concurrent clients, 240 mixed jobs with injected
+#      panics, hangs, strict invariant aborts and packet-level fault
+#      plans against an undersized worker pool — asserting zero
+#      accepted-job losses, explicit 429+Retry-After feedback on every
+#      shed request, correct failure classification, a clean drain and
+#      byte-identical resubmits across a journal reopen, with no
+#      goroutine leaks.
+#
+#   2. A real-binary SIGTERM cycle, exercising the actual signal path
+#      (TrapSignals -> Drain -> WaitIdle -> exit 0) that the in-process
+#      test cannot: the daemon is killed mid-job, must exit 0 with a
+#      drain summary, and after a restart on the same journal must
+#      answer a resubmit byte-identically from cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "== stage 1: in-process chaos soak (race detector) =="
+go test -race -count=1 -run 'TestSoak' -v ./internal/serve | grep -v '^=== RUN'
+
+echo "== stage 2: real-binary SIGTERM drain =="
+go build -o "$work/bcnd" ./cmd/bcnd
+
+"$work/bcnd" -selftest > "$work/selftest.out"
+grep -q "selftest ok: netsim" "$work/selftest.out" || {
+    echo "FAIL: selftest did not cover every canary" >&2
+    cat "$work/selftest.out" >&2
+    exit 1
+}
+
+cat > "$work/solve.json" <<'EOF'
+{"kind":"solve","solve":{"params":{"N":50,"C":1e10,"Ru":8e6,"Gi":4,"Gd":0.0078125,"W":2,"Pm":0.01,"Q0":2.5e6,"B":5e6}}}
+EOF
+cat > "$work/slow.json" <<'EOF'
+{"kind":"netsim","netsim":{"n":8,"capacity":1e9,"buffer_bits":4e6,"q0":5e5,"duration_sec":2,"seed":3}}
+EOF
+
+start_daemon() { # $1 = stdout file
+    "$work/bcnd" -addr 127.0.0.1:0 -journal "$work/journal" -workers 2 > "$1" 2>&1 &
+    daemon=$!
+    addr=""
+    for _ in $(seq 200); do
+        addr="$(sed -n 's/^bcnd: listening on //p' "$1")"
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    [ -n "$addr" ] || { echo "FAIL: daemon never bound" >&2; cat "$1" >&2; exit 1; }
+    url="http://$addr"
+}
+
+start_daemon "$work/d1.out"
+
+# One completed artifact to resubmit after the restart.
+"$work/bcnd" -url "$url" -post "$work/solve.json" > "$work/art1.json" 2> "$work/post1.err"
+
+# A long job in flight when the signal lands: accepted work must finish
+# during the drain, not be dropped.
+"$work/bcnd" -url "$url" -post "$work/slow.json" > "$work/slow.json.out" 2> "$work/slow.err" &
+client=$!
+sleep 0.3
+
+kill -TERM "$daemon"
+set +e
+wait "$daemon"; dstatus=$?
+wait "$client"; cstatus=$?
+set -e
+if [ "$dstatus" -ne 0 ]; then
+    echo "FAIL: SIGTERM drain exited $dstatus, want 0" >&2
+    cat "$work/d1.out" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$work/d1.out" || {
+    echo "FAIL: daemon exited 0 without a drain summary" >&2
+    cat "$work/d1.out" >&2
+    exit 1
+}
+if [ "$cstatus" -ne 0 ]; then
+    echo "FAIL: job accepted before SIGTERM was dropped by the drain" >&2
+    cat "$work/slow.err" >&2
+    exit 1
+fi
+echo "daemon drained cleanly with a job in flight"
+
+# The journal must replay without dropping a record, and the restarted
+# daemon must serve the earlier artifact byte-identically from cache.
+start_daemon "$work/d2.out"
+grep -q "replayed" "$work/d2.out" || {
+    echo "FAIL: restarted daemon did not replay the journal" >&2
+    cat "$work/d2.out" >&2
+    exit 1
+}
+"$work/bcnd" -url "$url" -post "$work/solve.json" > "$work/art2.json" 2> "$work/post2.err"
+grep -q "cache=hit" "$work/post2.err" || {
+    echo "FAIL: restart resubmit was not a cache hit" >&2
+    cat "$work/post2.err" >&2
+    exit 1
+}
+cmp "$work/art1.json" "$work/art2.json" || {
+    echo "FAIL: resubmitted artifact differs across restart" >&2
+    exit 1
+}
+
+kill -TERM "$daemon"
+set +e
+wait "$daemon"; dstatus=$?
+set -e
+[ "$dstatus" -eq 0 ] || {
+    echo "FAIL: idle drain exited $dstatus, want 0" >&2
+    cat "$work/d2.out" >&2
+    exit 1
+}
+echo "PASS: soak, SIGTERM drain and byte-identical restart resubmit"
