@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds metamorphic check smoke-resume soak clean
+.PHONY: all build test vet race fuzz-seeds metamorphic check bench smoke-resume soak clean
 
 all: check
 
@@ -29,6 +29,13 @@ metamorphic:
 # The full pre-merge gate: static checks, build, race-enabled tests,
 # the fuzz seed corpora and the metamorphic relations.
 check: vet build race fuzz-seeds metamorphic
+
+# Run every benchmark once (override BENCHTIME for real measurements,
+# e.g. BENCHTIME=2s) and parse the stream into machine-readable
+# BENCH.json alongside the human-readable log.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./scripts/benchjson -o BENCH.json
 
 # Kill-and-resume smoke: SIGINT a real bcnsweep run partway, resume it
 # from the journal, and require byte-identical artifacts vs an

@@ -38,6 +38,7 @@ import (
 	"bcnphase/internal/invariant"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/serve"
+	"bcnphase/internal/telemetry"
 )
 
 func main() {
@@ -73,6 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		brkCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "quarantine length for a tripped region")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for accepted jobs")
 		selftest     = fs.Bool("selftest", false, "run the canary suite against an ephemeral in-process server and exit")
+		telem        = fs.String("telemetry", "", "directory to dump telemetry.json (final metrics snapshot) and trace.jsonl at drain")
 		clientURL    = fs.String("url", "http://127.0.0.1:8077", "server base URL for -post/-get client modes")
 		postFile     = fs.String("post", "", "client mode: submit the spec in this file (- for stdin) and print the artifact")
 		getKey       = fs.String("get", "", "client mode: fetch the artifact for this job key and print it")
@@ -93,6 +95,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *telem != "" {
+		if err := runstate.EnsureWritableDir(*telem); err != nil {
+			return fmt.Errorf("telemetry preflight: %w", err)
+		}
+	}
 	cfg := serve.Config{
 		Workers:          *workers,
 		QueueCap:         *queueCap,
@@ -101,6 +108,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		BreakerThreshold: *brkFailures,
 		BreakerCooldown:  *brkCooldown,
 		Invariants:       policy,
+		Registry:         telemetry.NewRegistry(),
+		Log:              os.Stderr,
 	}
 	var journal *runstate.Journal
 	if *journalDir != "" {
@@ -121,6 +130,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
+	}
+	// The final metrics snapshot and span trace are dumped on every exit
+	// path — clean drain, failed drain, selftest — so a post-mortem
+	// always has the last state the process saw.
+	if *telem != "" {
+		start := time.Now()
+		defer func() {
+			if err := telemetry.DumpDir(*telem, "bcnd", time.Since(start).Seconds(), srv.Registry(), srv.Tracer()); err != nil {
+				fmt.Fprintln(os.Stderr, "bcnd: telemetry:", err)
+			}
+		}()
 	}
 	if *selftest {
 		return runSelftest(ctx, srv, out)
@@ -229,7 +249,7 @@ func runSelftest(ctx context.Context, srv *serve.Server, out io.Writer) error {
 	if resp.StatusCode != http.StatusBadRequest {
 		return fmt.Errorf("selftest: malformed spec got %d, want 400", resp.StatusCode)
 	}
-	for _, path := range []string{"/healthz", "/readyz", "/statusz"} {
+	for _, path := range []string{"/healthz", "/readyz", "/statusz", "/metrics", "/debug/pprof/"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
 			return err

@@ -179,3 +179,55 @@ func readAll(t *testing.T, resp *http.Response) []byte {
 	}
 	return buf.Bytes()
 }
+
+// TestServeMetricsAndTelemetryDump exercises the live /metrics endpoint
+// and the -telemetry drain dump in one server lifetime.
+func TestServeMetricsAndTelemetryDump(t *testing.T) {
+	dir := t.TempDir()
+	base, stop := startServer(t, "-telemetry", dir)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(solveBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if rid := resp.Header.Get("X-Request-ID"); rid == "" {
+		t.Error("job response missing X-Request-ID")
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, mresp))
+	for _, want := range []string{
+		"serve_accepted_total 1",
+		"# TYPE serve_queue_depth gauge",
+		"serve_uptime_seconds",
+		`serve_job_seconds_count{kind="solve"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "telemetry.json"))
+	if err != nil {
+		t.Fatalf("telemetry.json not written at drain: %v", err)
+	}
+	var sum struct {
+		Tool string `json:"tool"`
+	}
+	if err := json.Unmarshal(raw, &sum); err != nil || sum.Tool != "bcnd" {
+		t.Fatalf("telemetry.json tool = %q, err %v", sum.Tool, err)
+	}
+	if !strings.Contains(string(raw), "serve_completed_total") {
+		t.Error("dump lacks serve counters")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "trace.jsonl")); err != nil {
+		t.Errorf("trace.jsonl not written: %v", err)
+	}
+}

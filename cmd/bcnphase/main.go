@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"bcnphase/internal/core"
 	"bcnphase/internal/invariant"
@@ -20,6 +21,7 @@ import (
 	"bcnphase/internal/linear"
 	"bcnphase/internal/plot"
 	"bcnphase/internal/runstate"
+	"bcnphase/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		trans  = fs.Bool("transient", false, "print transient metrics (overshoot, period, settling)")
 		invPol = fs.String("invariants", "off", "runtime invariant checking: off, record, strict or clamp")
 		xc     = fs.Bool("xcheck", false, "cross-validate the stitched trajectory against an independent numerical integration")
+		telem  = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +59,23 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var reg *telemetry.Registry
+	if *telem != "" {
+		if err := runstate.EnsureWritableDir(*telem); err != nil {
+			return fmt.Errorf("telemetry preflight: %w", err)
+		}
+		reg = telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(0, nil)
+		began := time.Now()
+		span := tracer.Start("bcnphase/run")
+		defer func() {
+			span.End()
+			if err := telemetry.DumpDir(*telem, "bcnphase", time.Since(began).Seconds(), reg, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "bcnphase: telemetry:", err)
+			}
+		}()
+	}
+	solveMetrics := core.NewSolveMetrics(reg)
 	p := core.Params{
 		N: *n, C: *c, Ru: *ru, Gi: *gi, Gd: *gd, W: *w, Pm: *pm, Q0: *q0, B: *b,
 	}
@@ -70,7 +90,7 @@ func run(args []string, out io.Writer) error {
 		// Record/Clamp: integrate through the broken parameters and
 		// report what the guards saw; the derived criteria and linear
 		// comparison are meaningless here, so print a reduced analysis.
-		tr, serr := core.Solve(p, core.SolveOptions{SamplesPerArc: 128, Invariants: chk})
+		tr, serr := core.Solve(p, core.SolveOptions{SamplesPerArc: 128, Invariants: chk, Telemetry: solveMetrics})
 		if serr != nil {
 			return serr
 		}
@@ -86,7 +106,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.SolveOptions{SamplesPerArc: 128, Invariants: chk}
+	opts := core.SolveOptions{SamplesPerArc: 128, Invariants: chk, Telemetry: solveMetrics}
 	if *warmup >= 0 {
 		mu := *warmup
 		opts.WarmupFromRate = &mu

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"bcnphase/internal/core"
 	"bcnphase/internal/invariant"
+	"bcnphase/internal/telemetry"
 )
 
 func TestRunPaperDefaults(t *testing.T) {
@@ -144,5 +146,38 @@ func TestRunXCheck(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "xcheck:") {
 		t.Errorf("output missing xcheck report:\n%s", b.String())
+	}
+}
+
+// TestRunTelemetry asserts -telemetry writes a metrics summary with
+// solver series without perturbing the analysis output.
+func TestRunTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	var plain, instrumented strings.Builder
+	if err := run(nil, &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	if err := run([]string{"-telemetry", dir}, &instrumented); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Error("telemetry changed the analysis output")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "telemetry.json"))
+	if err != nil {
+		t.Fatalf("telemetry.json: %v", err)
+	}
+	var sum telemetry.Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("decode telemetry.json: %v", err)
+	}
+	if sum.Tool != "bcnphase" {
+		t.Errorf("tool = %q", sum.Tool)
+	}
+	if v := sum.Metrics.Value("core_solves_total"); v != 1 {
+		t.Errorf("core_solves_total = %v, want 1", v)
+	}
+	if v := sum.Metrics.Value("core_arcs_total"); v <= 0 {
+		t.Errorf("core_arcs_total = %v, want > 0", v)
 	}
 }

@@ -14,11 +14,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bcnphase/internal/invariant"
 	"bcnphase/internal/netsim"
 	"bcnphase/internal/plot"
 	"bcnphase/internal/runstate"
+	"bcnphase/internal/telemetry"
 )
 
 func main() {
@@ -61,6 +63,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ascii    = fs.Bool("ascii", false, "print an ASCII chart of the queue series")
 		trace    = fs.String("trace", "", "write a per-event trace to this file")
 		invPol   = fs.String("invariants", "off", "runtime invariant checking: off, record, strict or clamp")
+		telem    = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +71,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	policy, err := invariant.ParsePolicy(*invPol)
 	if err != nil {
 		return err
+	}
+	var reg *telemetry.Registry
+	if *telem != "" {
+		if err := runstate.EnsureWritableDir(*telem); err != nil {
+			return fmt.Errorf("telemetry preflight: %w", err)
+		}
+		reg = telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(0, nil)
+		began := time.Now()
+		span := tracer.Start("bcnsim/run")
+		defer func() {
+			span.End()
+			if err := telemetry.DumpDir(*telem, "bcnsim", time.Since(began).Seconds(), reg, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "bcnsim: telemetry:", err)
+			}
+		}()
 	}
 	cfg := netsim.Config{
 		N: *n, Capacity: *c, LineRate: *line, FrameBits: *frame,
@@ -77,6 +96,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Q0:          *q0, W: *w, Pm: *pm, Ru: *ru, Gi: *gi, Gd: *gd,
 		Seed:       *seed,
 		Invariants: policy,
+		Metrics:    netsim.NewMetrics(reg),
 	}
 	if *pause {
 		cfg.Pause = true

@@ -2,12 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"bcnphase/internal/runstate"
+	"bcnphase/internal/telemetry"
 )
 
 func TestRunDefaults(t *testing.T) {
@@ -134,5 +136,38 @@ func TestRunInvariantsFlag(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-invariants", "bogus"}, &b); err == nil {
 		t.Error("bogus -invariants value accepted")
+	}
+}
+
+// TestRunTelemetry asserts -telemetry writes a metrics summary with
+// nonzero netsim series without perturbing the simulation output.
+func TestRunTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	var plain, instrumented strings.Builder
+	if err := run(context.Background(), []string{"-dur", "0.02"}, &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	if err := run(context.Background(), []string{"-dur", "0.02", "-telemetry", dir}, &instrumented); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Error("telemetry changed the simulation output")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "telemetry.json"))
+	if err != nil {
+		t.Fatalf("telemetry.json: %v", err)
+	}
+	var sum telemetry.Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("decode telemetry.json: %v", err)
+	}
+	if sum.Tool != "bcnsim" {
+		t.Errorf("tool = %q", sum.Tool)
+	}
+	if v := sum.Metrics.Value("netsim_events_total"); v <= 0 {
+		t.Errorf("netsim_events_total = %v, want > 0", v)
+	}
+	if v := sum.Metrics.Value("netsim_runs_total"); v != 1 {
+		t.Errorf("netsim_runs_total = %v, want 1", v)
 	}
 }

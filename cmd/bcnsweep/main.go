@@ -34,6 +34,7 @@ import (
 	"bcnphase/internal/linear"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/sweep"
+	"bcnphase/internal/telemetry"
 )
 
 func main() {
@@ -107,6 +108,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
 		resume  = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
 		invPol  = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
+		telem   = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +116,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *steps < 2 {
 		return fmt.Errorf("steps must be >= 2, got %d", *steps)
 	}
+	// With -telemetry, the sweep runs fully instrumented and dumps a
+	// JSON metrics summary plus a span trace on every exit path,
+	// including an interrupted (resumable) one.
+	var (
+		reg    *telemetry.Registry
+		tracer *telemetry.Tracer
+		began  time.Time
+		done   int
+	)
+	if *telem != "" {
+		if err := runstate.EnsureWritableDir(*telem); err != nil {
+			return fmt.Errorf("telemetry preflight: %w", err)
+		}
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(0, nil)
+		began = time.Now()
+		pps := reg.Gauge("bcnsweep_points_per_second", "fresh grid points evaluated per wall-clock second")
+		span := tracer.Start("bcnsweep/run")
+		defer func() {
+			wall := time.Since(began).Seconds()
+			if wall > 0 {
+				pps.Set(float64(done) / wall)
+			}
+			span.SetAttr("points_done", fmt.Sprint(done))
+			span.End()
+			if err := telemetry.DumpDir(*telem, "bcnsweep", wall, reg, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "bcnsweep: telemetry:", err)
+			}
+		}()
+	}
+	solveMetrics := core.NewSolveMetrics(reg)
 	policy, err := invariant.ParsePolicy(*invPol)
 	if err != nil {
 		return err
@@ -147,7 +180,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return row{}, err
 		}
-		tr, err := core.Solve(p, core.SolveOptions{Invariants: invariant.NewPolicy(policy)})
+		tr, err := core.Solve(p, core.SolveOptions{
+			Invariants: invariant.NewPolicy(policy),
+			Telemetry:  solveMetrics,
+		})
 		if err != nil {
 			return row{}, err
 		}
@@ -208,6 +244,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Workers:         *workers,
 		PointTimeout:    *timeout,
 		ContinueOnError: true,
+		Metrics:         sweep.NewMetrics(reg),
 	}
 	var results []sweep.Result[gainPoint, row]
 	if journal != nil {
@@ -224,6 +261,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		switch {
 		case r.Err == nil:
 			fmt.Fprintln(&csv, r.Value.CSV)
+			done++
 		case ctx.Err() != nil && runstate.Interrupted(r.Err):
 			// Drained by the run-level shutdown. A per-point deadline
 			// (Options.PointTimeout) also surfaces as a context error but
@@ -246,7 +284,6 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// An interrupted sweep exits resumable without publishing map.csv —
 	// the journal already holds every completed point durably.
 	if ctx.Err() != nil {
-		done := len(points) - interrupted - len(failed)
 		hint := "re-run with -resume to continue"
 		if *resume != "" {
 			hint = fmt.Sprintf("re-run with -resume %s to continue", *resume)

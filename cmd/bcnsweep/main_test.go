@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"bcnphase/internal/runstate"
+	"bcnphase/internal/telemetry"
 )
 
 func TestRunSweepCSV(t *testing.T) {
@@ -282,5 +284,63 @@ func TestRunSweepResumePreflight(t *testing.T) {
 	var b strings.Builder
 	if err := run(context.Background(), []string{"-steps", "2", "-resume", file}, &b); err == nil {
 		t.Error("plain file accepted as resume dir")
+	}
+}
+
+// TestRunSweepTelemetry asserts the -telemetry contract: the run writes
+// telemetry.json holding a metrics snapshot with a points/sec gauge and
+// nonzero sweep/core counters, plus a span trace, and the instrumented
+// run's CSV is byte-identical to an uninstrumented one.
+func TestRunSweepTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	var plain, instrumented strings.Builder
+	if err := run(context.Background(), []string{"-steps", "3"}, &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	if err := run(context.Background(), []string{"-steps", "3", "-telemetry", dir}, &instrumented); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Error("telemetry changed the CSV output")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "telemetry.json"))
+	if err != nil {
+		t.Fatalf("telemetry.json: %v", err)
+	}
+	var sum telemetry.Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("decode telemetry.json: %v", err)
+	}
+	if sum.Tool != "bcnsweep" || sum.WallSeconds <= 0 {
+		t.Errorf("summary header: tool=%q wall=%v", sum.Tool, sum.WallSeconds)
+	}
+	if v := sum.Metrics.Value("sweep_points_total"); v != 9 {
+		t.Errorf("sweep_points_total = %v, want 9", v)
+	}
+	if v := sum.Metrics.Value("bcnsweep_points_per_second"); v <= 0 {
+		t.Errorf("bcnsweep_points_per_second = %v, want > 0", v)
+	}
+	if v := sum.Metrics.Value("core_solves_total"); v != 9 {
+		t.Errorf("core_solves_total = %v, want 9", v)
+	}
+	trace, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatalf("trace.jsonl: %v", err)
+	}
+	if !strings.Contains(string(trace), `"bcnsweep/run"`) {
+		t.Errorf("trace missing run span: %s", trace)
+	}
+}
+
+// TestRunSweepTelemetryPreflight rejects an unwritable telemetry target
+// before doing any work.
+func TestRunSweepTelemetryPreflight(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-steps", "2", "-telemetry", file}, &b); err == nil {
+		t.Error("plain file accepted as telemetry dir")
 	}
 }

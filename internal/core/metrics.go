@@ -1,0 +1,80 @@
+package core
+
+import (
+	"time"
+
+	"bcnphase/internal/telemetry"
+)
+
+// SolveMetrics instruments the arc-stitching solver. A nil
+// *SolveMetrics (the default) is inert and costs Solve one nil
+// comparison per call; all accounting happens once per Solve, after the
+// trajectory is built, so the per-arc hot loop is untouched.
+type SolveMetrics struct {
+	// Solves counts Solve invocations (including failed ones).
+	Solves *telemetry.Counter
+	// Arcs counts stitched closed-form arcs.
+	Arcs *telemetry.Counter
+	// Crossings counts switching-line crossings — each one is a regime
+	// switch between the σ>0 and σ<0 rate laws.
+	Crossings *telemetry.Counter
+	// Extrema counts recorded x-extrema.
+	Extrema *telemetry.Counter
+	// Outcomes tallies trajectory outcomes by name.
+	Outcomes *telemetry.CounterVec
+	// PhaseSeconds accumulates simulated time spent in each region, so
+	// an operator can see where a trajectory's dwell time goes.
+	PhaseSeconds *telemetry.GaugeVec
+	// Duration is the wall-clock cost of one Solve.
+	Duration *telemetry.Histogram
+}
+
+// NewSolveMetrics registers the solver family on r. A nil registry
+// yields a nil (inert) SolveMetrics.
+func NewSolveMetrics(r *telemetry.Registry) *SolveMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SolveMetrics{
+		Solves:    r.Counter("core_solves_total", "stitched-trajectory solves"),
+		Arcs:      r.Counter("core_arcs_total", "closed-form arcs stitched"),
+		Crossings: r.Counter("core_crossings_total", "switching-line crossings (regime switches)"),
+		Extrema:   r.Counter("core_extrema_total", "x-extrema recorded"),
+		Outcomes:  r.CounterVec("core_outcomes_total", "trajectory outcomes", "outcome"),
+		PhaseSeconds: r.GaugeVec("core_phase_sim_seconds_total",
+			"simulated seconds spent per rate-law region", "region"),
+		Duration: r.Histogram("core_solve_seconds", "wall-clock duration of one Solve", nil),
+	}
+}
+
+// observe folds one finished Solve into the registry.
+func (m *SolveMetrics) observe(tr *Trajectory, wall time.Duration) {
+	m.Solves.Inc()
+	m.Duration.Observe(wall.Seconds())
+	if tr == nil {
+		return
+	}
+	m.Arcs.Add(uint64(len(tr.Segments)))
+	m.Crossings.Add(uint64(len(tr.Crossings)))
+	m.Extrema.Add(uint64(len(tr.Extrema)))
+	if tr.Outcome != 0 {
+		m.Outcomes.With(tr.Outcome.String()).Inc()
+	}
+	// Per-region dwell time is summed locally first so the registry is
+	// touched a constant number of times per Solve, not per arc.
+	var inc, dec float64
+	for _, s := range tr.Segments {
+		switch s.Region {
+		case Increase:
+			inc += s.Duration
+		case Decrease:
+			dec += s.Duration
+		}
+	}
+	if inc > 0 {
+		m.PhaseSeconds.With(Increase.String()).Add(inc)
+	}
+	if dec > 0 {
+		m.PhaseSeconds.With(Decrease.String()).Add(dec)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"bcnphase/internal/telemetry"
+)
+
+func TestSolveMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewSolveMetrics(reg)
+	p := FigureExample()
+	tr, err := Solve(p, SolveOptions{Telemetry: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solves.Value() != 1 {
+		t.Fatalf("solves = %d, want 1", m.Solves.Value())
+	}
+	if got := m.Arcs.Value(); got != uint64(len(tr.Segments)) {
+		t.Fatalf("arcs = %d, want %d", got, len(tr.Segments))
+	}
+	if got := m.Crossings.Value(); got != uint64(len(tr.Crossings)) {
+		t.Fatalf("crossings = %d, want %d", got, len(tr.Crossings))
+	}
+	if m.Outcomes.With(tr.Outcome.String()).Value() != 1 {
+		t.Fatalf("outcome %q not tallied", tr.Outcome)
+	}
+	if m.Duration.Count() != 1 {
+		t.Fatalf("duration histogram count = %d, want 1", m.Duration.Count())
+	}
+	// Both regions should have accumulated dwell time: the figure
+	// example oscillates across the switching line before settling.
+	snap := reg.Snapshot()
+	f, ok := snap.Get("core_phase_sim_seconds_total")
+	if !ok || len(f.Series) == 0 {
+		t.Fatalf("no phase dwell series: %+v", snap)
+	}
+	var total float64
+	for _, s := range f.Series {
+		total += s.Value
+	}
+	if total <= 0 {
+		t.Fatalf("phase dwell total = %v, want > 0", total)
+	}
+
+	// Telemetry must not perturb the solution.
+	plain, err := Solve(p, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Outcome != tr.Outcome || plain.Rho != tr.Rho || len(plain.Segments) != len(tr.Segments) {
+		t.Fatalf("telemetry changed the trajectory: %v/%v vs %v/%v",
+			plain.Outcome, plain.Rho, tr.Outcome, tr.Rho)
+	}
+}
+
+func TestNewSolveMetricsNil(t *testing.T) {
+	if m := NewSolveMetrics(nil); m != nil {
+		t.Fatalf("NewSolveMetrics(nil) = %v, want nil", m)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"bcnphase/internal/invariant"
 )
@@ -187,6 +188,10 @@ type SolveOptions struct {
 	// lets Solve integrate through parameter sets Params.Validate
 	// rejects, recording the breakage instead of refusing the run.
 	Invariants *invariant.Checker
+	// Telemetry optionally attaches solver metrics (arc/crossing/outcome
+	// counts, per-region dwell time, wall-clock histograms). Nil costs
+	// one comparison per Solve.
+	Telemetry *SolveMetrics
 }
 
 func (o SolveOptions) withDefaults(p Params) SolveOptions {
@@ -215,9 +220,16 @@ func (o SolveOptions) withDefaults(p Params) SolveOptions {
 // attaches a checker, every sampled point is self-checked at runtime and
 // the violation tallies are returned in Trajectory.Violations.
 func Solve(p Params, opts SolveOptions) (*Trajectory, error) {
+	var began time.Time
+	if opts.Telemetry != nil {
+		began = time.Now()
+	}
 	tr, err := solve(p, opts)
 	if tr != nil {
 		tr.Violations = opts.Invariants.Stats()
+	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.observe(tr, time.Since(began))
 	}
 	return tr, err
 }

@@ -1,0 +1,89 @@
+package netsim
+
+import "bcnphase/internal/telemetry"
+
+// Metrics instruments packet-level runs. A nil *Metrics is inert: the
+// event loop is not touched at all (no monitor is chained) and the
+// end-of-run accounting is skipped behind one nil comparison. Events
+// are counted live so an in-flight run is visible on /metrics; all
+// other series are folded in from the Result when the run finishes,
+// keeping the per-event cost to a single counter increment.
+type Metrics struct {
+	// Runs counts completed (including aborted) runs.
+	Runs *telemetry.Counter
+	// Events counts simulator events live, one per processed event.
+	Events *telemetry.Counter
+	// SimSeconds accumulates simulated time across runs.
+	SimSeconds *telemetry.Gauge
+	// DroppedFrames counts data frames lost to buffer overflow.
+	DroppedFrames *telemetry.Counter
+	// PausesSent counts 802.3x XOFF assertions.
+	PausesSent *telemetry.Counter
+	// Feedback counts BCN congestion-feedback messages by direction
+	// ("pos" rate-increase, "neg" rate-decrease).
+	Feedback *telemetry.CounterVec
+	// Malformed counts feedback messages rejected by validation.
+	Malformed *telemetry.Counter
+	// Faults counts injected faults by kind (see internal/faults).
+	Faults *telemetry.CounterVec
+	// Sojourn is the per-frame queueing-delay distribution.
+	Sojourn *telemetry.Histogram
+	// QueueBits tracks the bottleneck queue occupancy, refreshed at
+	// every recorder sample.
+	QueueBits *telemetry.Gauge
+}
+
+// NewMetrics registers the netsim family on r. A nil registry yields a
+// nil (inert) Metrics.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Runs:          r.Counter("netsim_runs_total", "packet-level simulation runs"),
+		Events:        r.Counter("netsim_events_total", "simulator events processed"),
+		SimSeconds:    r.Gauge("netsim_sim_seconds_total", "simulated seconds accumulated"),
+		DroppedFrames: r.Counter("netsim_dropped_frames_total", "data frames dropped at the bottleneck buffer"),
+		PausesSent:    r.Counter("netsim_pauses_total", "802.3x XOFF pause assertions"),
+		Feedback:      r.CounterVec("netsim_feedback_messages_total", "BCN feedback messages by direction", "direction"),
+		Malformed:     r.Counter("netsim_malformed_msgs_total", "feedback messages rejected by validation"),
+		Faults:        r.CounterVec("netsim_faults_injected_total", "injected faults by kind", "kind"),
+		Sojourn: r.Histogram("netsim_sojourn_seconds", "per-frame queueing delay",
+			telemetry.ExpBuckets(1e-6, 4, 14)),
+		QueueBits: r.Gauge("netsim_queue_bits", "bottleneck queue occupancy (last recorder sample)"),
+	}
+}
+
+// observe folds one finished run into the registry. sojourns is the
+// raw per-frame delay list the run collected.
+func (m *Metrics) observe(res *Result, sojourns []float64) {
+	m.Runs.Inc()
+	m.SimSeconds.Add(res.SimSeconds)
+	m.DroppedFrames.Add(res.DroppedFrames)
+	m.PausesSent.Add(res.PausesSent)
+	m.Malformed.Add(res.MalformedMsgs)
+	if res.PosMessages > 0 {
+		m.Feedback.With("pos").Add(res.PosMessages)
+	}
+	if res.NegMessages > 0 {
+		m.Feedback.With("neg").Add(res.NegMessages)
+	}
+	for _, fk := range []struct {
+		kind string
+		n    uint64
+	}{
+		{"feedback_dropped", res.Faults.FeedbackDropped},
+		{"feedback_delayed", res.Faults.FeedbackDelayed},
+		{"feedback_reordered", res.Faults.FeedbackReordered},
+		{"feedback_corrupted", res.Faults.FeedbackCorrupted},
+		{"data_dropped", res.Faults.DataDropped},
+		{"samples_blanked", res.Faults.SamplesBlanked},
+	} {
+		if fk.n > 0 {
+			m.Faults.With(fk.kind).Add(fk.n)
+		}
+	}
+	for _, s := range sojourns {
+		m.Sojourn.Observe(s)
+	}
+}

@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"testing"
+
+	"bcnphase/internal/telemetry"
+)
+
+func TestRunMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	cfg := testConfig()
+	cfg.Metrics = m
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Run(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs.Value() != 1 {
+		t.Fatalf("runs = %d, want 1", m.Runs.Value())
+	}
+	if got := m.Events.Value(); got != res.Events {
+		t.Fatalf("live event count %d != result events %d", got, res.Events)
+	}
+	if res.NegMessages > 0 && m.Feedback.With("neg").Value() != res.NegMessages {
+		t.Fatalf("neg feedback %d != %d", m.Feedback.With("neg").Value(), res.NegMessages)
+	}
+	if res.PosMessages > 0 && m.Feedback.With("pos").Value() != res.PosMessages {
+		t.Fatalf("pos feedback %d != %d", m.Feedback.With("pos").Value(), res.PosMessages)
+	}
+	if m.Sojourn.Count() == 0 {
+		t.Fatalf("no sojourn samples recorded")
+	}
+	if m.SimSeconds.Value() != res.SimSeconds {
+		t.Fatalf("sim seconds %v != %v", m.SimSeconds.Value(), res.SimSeconds)
+	}
+
+	// Determinism contract: an identical run without metrics must
+	// produce the same physics.
+	cfg2 := testConfig()
+	net2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := net2.Run(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Events != res.Events || res2.DeliveredBits != res.DeliveredBits ||
+		res2.NegMessages != res.NegMessages || res2.MaxQueueBits != res.MaxQueueBits {
+		t.Fatalf("metrics perturbed the run: %+v vs %+v", res2, res)
+	}
+}
+
+func TestNetsimNewMetricsNil(t *testing.T) {
+	if m := NewMetrics(nil); m != nil {
+		t.Fatalf("NewMetrics(nil) = %v, want nil", m)
+	}
+}

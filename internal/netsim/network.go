@@ -181,6 +181,13 @@ type Config struct {
 	// with a *invariant.InvariantError; Clamp projects the switch
 	// occupancy back into [0, B] and counts the correction.
 	Invariants invariant.Policy
+
+	// Metrics optionally attaches run telemetry (live event counts,
+	// end-of-run feedback/fault/sojourn accounting). Nil is inert: the
+	// event loop is untouched. Shared registries are safe — all
+	// instruments are atomic — so a long-lived service can hand every
+	// run the same Metrics.
+	Metrics *Metrics
 }
 
 // Validate checks the scenario.
@@ -688,12 +695,28 @@ func (n *Network) RunContext(ctx context.Context, duration float64) (*Result, er
 			agg += r
 		}
 		n.recRate = append(n.recRate, agg)
+		if n.cfg.Metrics != nil {
+			n.cfg.Metrics.QueueBits.Set(n.queueBits)
+		}
 		_ = n.sim.After(sampleEvery, rec)
 	}
 	rec()
 
 	if n.guard.enabled() {
 		n.sim.Monitor = n.guard.monitor
+	}
+	if m := n.cfg.Metrics; m != nil {
+		// Chain the live event counter in front of whatever monitor is
+		// already installed so an in-flight run is visible on /metrics.
+		prev := n.sim.Monitor
+		events := m.Events
+		n.sim.Monitor = func(at Nanos) error {
+			events.Inc()
+			if prev != nil {
+				return prev(at)
+			}
+			return nil
+		}
 	}
 	check, every := budgetCheck(ctx, n.sim, n.cfg.MaxEvents, n.cfg.MaxWallClock)
 	runErr := n.sim.RunChecked(until, every, check)
@@ -739,6 +762,9 @@ func (n *Network) RunContext(ctx context.Context, duration float64) (*Result, er
 	res.MeanSojourn, res.P99Sojourn = sojournStats(n.sojourns)
 	if n.cp != nil {
 		res.CPSamples, res.PosMessages, res.NegMessages = n.cp.Stats()
+	}
+	if m := n.cfg.Metrics; m != nil {
+		m.observe(res, n.sojourns)
 	}
 	if runErr != nil {
 		return res, fmt.Errorf("netsim: run aborted at t=%.6fs: %w", elapsed, runErr)

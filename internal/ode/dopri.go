@@ -37,6 +37,10 @@ type Options struct {
 	// non-nil return aborts the integration and is returned verbatim;
 	// runtime invariant guards hook in here.
 	StepMonitor func(t float64, y []float64) error
+	// Metrics, when non-nil, counts accepted/rejected steps and RHS
+	// evaluations for the adaptive drivers. Nil costs one comparison
+	// per step.
+	Metrics *Metrics
 }
 
 // Validate rejects unusable option values with a descriptive error. Zero
@@ -113,6 +117,9 @@ func integrate(tb Tableau, f Func, t0 float64, y0 []float64, t1 float64, opts Op
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	if opts.Metrics != nil {
+		f = opts.Metrics.instrument(f)
+	}
 	n := len(y0)
 	order := float64(tb.Order)
 
@@ -208,6 +215,9 @@ func integrate(tb Tableau, f Func, t0 float64, y0 []float64, t1 float64, opts Op
 
 		if norm <= 1 {
 			// Accept.
+			if opts.Metrics != nil {
+				opts.Metrics.Steps.Inc()
+			}
 			tNew := t + h
 			hit, stop := ev.check(f, t, y, tNew, yHigh)
 			if hit != nil {
@@ -246,6 +256,9 @@ func integrate(tb Tableau, f Func, t0 float64, y0 []float64, t1 float64, opts Op
 			prevErr = norm
 		} else {
 			// Reject: shrink.
+			if opts.Metrics != nil {
+				opts.Metrics.Rejected.Inc()
+			}
 			h *= math.Max(0.1, 0.9*math.Pow(norm, -1/order))
 		}
 	}

@@ -1,0 +1,30 @@
+package phaseplane
+
+import "bcnphase/internal/telemetry"
+
+// Metrics instruments Poincaré return-map evaluations. A nil *Metrics
+// is inert; the solver integrator below it can additionally be
+// instrumented through ReturnMap.ODE.Metrics.
+type Metrics struct {
+	// Returns counts completed first-return evaluations.
+	Returns *telemetry.Counter
+	// NoReturns counts trajectories that never came back to the section
+	// within the horizon.
+	NoReturns *telemetry.Counter
+	// FlightTime records the simulated period of each completed return.
+	FlightTime *telemetry.Histogram
+}
+
+// NewMetrics registers the return-map family on r. A nil registry
+// yields a nil (inert) Metrics.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Returns:   r.Counter("phaseplane_returns_total", "completed Poincaré first returns"),
+		NoReturns: r.Counter("phaseplane_no_returns_total", "trajectories that never returned to the section"),
+		FlightTime: r.Histogram("phaseplane_return_period_seconds",
+			"simulated flight time of one return", telemetry.ExpBuckets(1e-3, 4, 12)),
+	}
+}

@@ -36,6 +36,9 @@ type ReturnMap struct {
 	Horizon float64
 	// ODE overrides integrator tolerances (zero = defaults).
 	ODE ode.Options
+	// Metrics optionally counts return-map evaluations and flight
+	// times. Nil is inert.
+	Metrics *Metrics
 }
 
 // validate checks required fields.
@@ -94,9 +97,16 @@ func (m *ReturnMap) Map(s float64) (snext, period float64, err error) {
 		return 0, 0, fmt.Errorf("return map: %w", err)
 	}
 	if len(sol.Events) == 0 {
+		if m.Metrics != nil {
+			m.Metrics.NoReturns.Inc()
+		}
 		return 0, 0, ErrNoReturn
 	}
 	hit := sol.Events[len(sol.Events)-1]
+	if m.Metrics != nil {
+		m.Metrics.Returns.Inc()
+		m.Metrics.FlightTime.Observe(hit.T)
+	}
 	return m.Project(hit.Y[0], hit.Y[1]), hit.T, nil
 }
 

@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"bcnphase/internal/telemetry"
 )
 
 // Breaker is a per-region circuit breaker over job outcomes. A region
@@ -18,6 +20,10 @@ type Breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time
 	regions   map[string]*breakerRegion
+	// transitions, when non-nil, counts state changes by destination
+	// state ("open", "half-open", "closed") on the owning server's
+	// telemetry registry.
+	transitions *telemetry.CounterVec
 }
 
 type breakerRegion struct {
@@ -75,6 +81,7 @@ func (b *Breaker) Allow(region string) (ok bool, retryAfter time.Duration) {
 		return false, b.cooldown / 4
 	}
 	r.probing = true
+	b.transitions.With("half-open").Inc()
 	return true, 0
 }
 
@@ -86,6 +93,9 @@ func (b *Breaker) Success(region string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if r := b.regions[region]; r != nil {
+		if !r.openUntil.IsZero() || r.probing {
+			b.transitions.With("closed").Inc()
+		}
 		r.consecutive = 0
 		r.openUntil = time.Time{}
 		r.probing = false
@@ -112,6 +122,7 @@ func (b *Breaker) Failure(region string) {
 		r.openUntil = b.now().Add(b.cooldown)
 		r.probing = false
 		r.trips++
+		b.transitions.With("open").Inc()
 	}
 }
 

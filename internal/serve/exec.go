@@ -100,19 +100,19 @@ func (s *Server) execute(ctx context.Context, sp Spec, key string) ([]byte, erro
 		art := &Artifact{Key: key, Kind: sp.Kind, Invariants: pol.String()}
 		switch sp.Kind {
 		case KindSolve:
-			res, err := runSolve(sp.Solve, pol)
+			res, err := runSolve(sp.Solve, pol, s.jobm)
 			if err != nil {
 				return nil, err
 			}
 			art.Solve = res
 		case KindSweep:
-			res, err := runSweep(ctx, sp.Sweep, pol)
+			res, err := runSweep(ctx, sp.Sweep, pol, s.jobm)
 			if err != nil {
 				return nil, err
 			}
 			art.Sweep = res
 		case KindNetsim:
-			res, err := runNetsim(ctx, sp.Netsim, pol)
+			res, err := runNetsim(ctx, sp.Netsim, pol, s.jobm)
 			if err != nil {
 				return nil, err
 			}
@@ -132,7 +132,7 @@ func (s *Server) execute(ctx context.Context, sp Spec, key string) ([]byte, erro
 	return raw, nil
 }
 
-func runSolve(s *SolveSpec, pol invariant.Policy) (*SolveResult, error) {
+func runSolve(s *SolveSpec, pol invariant.Policy, jm jobMetrics) (*SolveResult, error) {
 	// Solve first: under a strict policy invalid physics must surface as
 	// the checker's structured abort (the breaker's signal), not as the
 	// linear criterion's plain validation error.
@@ -140,6 +140,7 @@ func runSolve(s *SolveSpec, pol invariant.Policy) (*SolveResult, error) {
 		Start:      s.Start,
 		MaxArcs:    s.MaxArcs,
 		Invariants: invariant.NewPolicy(pol),
+		Telemetry:  jm.solve,
 	})
 	if err != nil {
 		return nil, err
@@ -170,7 +171,7 @@ func runSolve(s *SolveSpec, pol invariant.Policy) (*SolveResult, error) {
 	}, nil
 }
 
-func runSweep(ctx context.Context, s *SweepSpec, pol invariant.Policy) (*SweepResult, error) {
+func runSweep(ctx context.Context, s *SweepSpec, pol invariant.Policy, jm jobMetrics) (*SweepResult, error) {
 	base := core.FigureExample()
 	base.B = s.BOverQ0 * base.Q0
 	var points []core.Params
@@ -194,7 +195,10 @@ func runSweep(ctx context.Context, s *SweepSpec, pol invariant.Policy) (*SweepRe
 		if err := ctx.Err(); err != nil {
 			return rowVal{}, err
 		}
-		tr, err := core.Solve(p, core.SolveOptions{Invariants: invariant.NewPolicy(pol)})
+		tr, err := core.Solve(p, core.SolveOptions{
+			Invariants: invariant.NewPolicy(pol),
+			Telemetry:  jm.solve,
+		})
 		if err != nil {
 			return rowVal{}, err
 		}
@@ -204,7 +208,7 @@ func runSweep(ctx context.Context, s *SweepSpec, pol invariant.Policy) (*SweepRe
 				tr.MaxQueue(), tr.Rho, tr.Violations.Total),
 			Violations: tr.Violations.Total,
 		}, nil
-	}, sweep.Options{Workers: 2, ContinueOnError: true})
+	}, sweep.Options{Workers: 2, ContinueOnError: true, Metrics: jm.sweep})
 	res := &SweepResult{
 		Header: "gi,gd,outcome,strongly_stable,max_q_bits,rho,violations",
 		Points: len(points),
@@ -229,8 +233,10 @@ func runSweep(ctx context.Context, s *SweepSpec, pol invariant.Policy) (*SweepRe
 	return res, nil
 }
 
-func runNetsim(ctx context.Context, s *NetsimSpec, pol invariant.Policy) (*NetsimResult, error) {
-	net, err := netsim.New(s.config(pol))
+func runNetsim(ctx context.Context, s *NetsimSpec, pol invariant.Policy, jm jobMetrics) (*NetsimResult, error) {
+	cfg := s.config(pol)
+	cfg.Metrics = jm.netsim
+	net, err := netsim.New(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"time"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/netsim"
+	"bcnphase/internal/sweep"
+	"bcnphase/internal/telemetry"
+)
+
+// serverMetrics is the server's registry-backed instrument set. It
+// replaces the ad-hoc atomic counters of earlier revisions: /statusz,
+// /metrics, and internal decisions all read the same series, so the
+// numbers an operator scrapes are the numbers the server acts on.
+type serverMetrics struct {
+	accepted       *telemetry.Counter
+	completed      *telemetry.Counter
+	failed         *telemetry.Counter
+	shed           *telemetry.Counter
+	cacheHits      *telemetry.Counter
+	coalesced      *telemetry.Counter
+	killed         *telemetry.Counter
+	breakerRejects *telemetry.Counter
+	// jobSeconds is the wall-clock latency of one executed job, by kind.
+	jobSeconds *telemetry.HistogramVec
+	// breakerTransitions counts state changes by destination state.
+	breakerTransitions *telemetry.CounterVec
+}
+
+// newServerMetrics registers the serving family on reg and wires the
+// live gauges that read the server's channel semaphores.
+func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		accepted:       reg.Counter("serve_accepted_total", "jobs accepted for execution"),
+		completed:      reg.Counter("serve_completed_total", "jobs completed successfully"),
+		failed:         reg.Counter("serve_failed_total", "jobs that finished in error"),
+		shed:           reg.Counter("serve_shed_total", "submissions shed by admission control"),
+		cacheHits:      reg.Counter("serve_cache_hits_total", "submissions answered from the artifact store"),
+		coalesced:      reg.Counter("serve_coalesced_total", "duplicate submissions coalesced onto a leader"),
+		killed:         reg.Counter("serve_killed_total", "jobs killed by client disconnect or cancellation"),
+		breakerRejects: reg.Counter("serve_breaker_rejects_total", "submissions rejected by an open breaker"),
+		jobSeconds: reg.HistogramVec("serve_job_seconds",
+			"wall-clock latency of one executed job", nil, "kind"),
+		breakerTransitions: reg.CounterVec("serve_breaker_transitions_total",
+			"circuit-breaker state transitions by destination state", "state"),
+	}
+	reg.GaugeFunc("serve_queue_depth", "submissions waiting for a worker",
+		func() float64 { return float64(len(s.queueSlots)) })
+	reg.GaugeFunc("serve_in_flight", "jobs executing on workers",
+		func() float64 { return float64(len(s.workerSlots)) })
+	reg.GaugeFunc("serve_utilization", "fraction of workers busy",
+		func() float64 { return s.utilization() })
+	reg.GaugeFunc("serve_active_jobs", "accepted jobs not yet finished",
+		func() float64 { return float64(s.ActiveJobs()) })
+	reg.GaugeFunc("serve_artifacts_stored", "artifacts in the completed-job store",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("serve_uptime_seconds", "monotonic process uptime",
+		func() float64 { return time.Since(s.startMono).Seconds() })
+	return m
+}
+
+// jobMetrics bundles the per-layer instruments handed to every executed
+// job. One shared set serves all jobs — the instruments are atomic — so
+// a netsim job run through bcnd lights up the same netsim_* series a
+// standalone bcnsim run would.
+type jobMetrics struct {
+	solve  *core.SolveMetrics
+	sweep  *sweep.Metrics
+	netsim *netsim.Metrics
+}
+
+func newJobMetrics(reg *telemetry.Registry) jobMetrics {
+	return jobMetrics{
+		solve:  core.NewSolveMetrics(reg),
+		sweep:  sweep.NewMetrics(reg),
+		netsim: netsim.NewMetrics(reg),
+	}
+}

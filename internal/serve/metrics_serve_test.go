@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bcnphase/internal/telemetry"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestMetricsEndpoint drives a netsim job through the full HTTP path
+// and asserts the acceptance criterion: Prometheus-format /metrics with
+// nonzero event, feedback, and latency-histogram series, plus live
+// /debug/pprof.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_, ts := newTestServer(t, Config{Workers: 2, Registry: reg})
+
+	// Overload the bottleneck (4 × 500 Mbps into 1 Gbps) for long
+	// enough that the congestion point actually emits BCN feedback; the
+	// default underloaded 2 ms spec never crosses the setpoint.
+	spec := netsimSpec()
+	spec.Netsim.InitialRate = 5e8
+	spec.Netsim.DurationSec = 0.05
+	if resp := postSpec(t, ts.URL, marshalSpec(t, spec)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("netsim job: status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE serve_accepted_total counter",
+		"serve_accepted_total 1",
+		"serve_completed_total 1",
+		"# TYPE serve_queue_depth gauge",
+		"# TYPE serve_shed_total counter",
+		"# TYPE serve_breaker_transitions_total counter",
+		"# TYPE serve_job_seconds histogram",
+		`serve_job_seconds_count{kind="netsim"} 1`,
+		"# TYPE netsim_events_total counter",
+		"# TYPE netsim_feedback_messages_total counter",
+		"# TYPE netsim_sojourn_seconds histogram",
+		"serve_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The netsim series must be nonzero, not merely present.
+	snap := reg.Snapshot()
+	if v := snap.Value("netsim_events_total"); v <= 0 {
+		t.Fatalf("netsim_events_total = %v, want > 0", v)
+	}
+	fb, ok := snap.Get("netsim_feedback_messages_total")
+	if !ok || len(fb.Series) == 0 {
+		t.Fatalf("no feedback series recorded")
+	}
+	soj, _ := snap.Get("netsim_sojourn_seconds")
+	if len(soj.Series) == 0 || soj.Series[0].Count == 0 {
+		t.Fatalf("sojourn histogram empty")
+	}
+
+	if code, body := getBody(t, ts.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestRequestIDsAndStatusUptime(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	resp := postSpec(t, ts.URL, marshalSpec(t, solveSpec()))
+	rid := resp.Header.Get("X-Request-ID")
+	if rid == "" {
+		t.Fatalf("no X-Request-ID on job response")
+	}
+	resp2 := postSpec(t, ts.URL, marshalSpec(t, solveSpec()))
+	rid2 := resp2.Header.Get("X-Request-ID")
+	if rid2 == "" || rid2 == rid {
+		t.Fatalf("request IDs not unique: %q vs %q", rid, rid2)
+	}
+	// Cache hit and miss must serve byte-identical artifacts even
+	// though their request IDs differ: IDs live in headers only.
+	if a, b := string(readBody(t, resp)), string(readBody(t, resp2)); a != b {
+		t.Fatalf("artifact bytes differ between miss and hit:\n%s\n%s", a, b)
+	}
+
+	// Error responses carry the request ID in the body too.
+	bad, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	raw, _ := io.ReadAll(bad.Body)
+	if !bytes.Contains(raw, []byte(`"request_id":"`)) {
+		t.Fatalf("error body lacks request_id: %s", raw)
+	}
+
+	st := s.StatusSnapshot()
+	if st.UptimeSec <= 0 {
+		t.Fatalf("uptime = %v, want > 0", st.UptimeSec)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if st2 := s.StatusSnapshot(); st2.UptimeSec <= st.UptimeSec {
+		t.Fatalf("uptime not monotonic: %v then %v", st.UptimeSec, st2.UptimeSec)
+	}
+	if st.Accepted != 1 || st.Completed != 1 || st.CacheHits != 1 {
+		t.Fatalf("statusz counters: %+v", st)
+	}
+}
+
+func TestServeLogLinesCarryRequestIDs(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{Workers: 1, Log: &buf})
+	if resp := postSpec(t, ts.URL, marshalSpec(t, solveSpec())); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	logs := buf.String()
+	if !strings.Contains(logs, "rid=req-") || !strings.Contains(logs, "accepted") || !strings.Contains(logs, "finished") {
+		t.Fatalf("log lines missing request ids or events:\n%s", logs)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for log capture.
+type syncBuffer struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) lock() {
+	if b.mu == nil {
+		b.mu = make(chan struct{}, 1)
+	}
+	b.mu <- struct{}{}
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.lock()
+	defer func() { <-b.mu }()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.lock()
+	defer func() { <-b.mu }()
+	return b.buf.String()
+}

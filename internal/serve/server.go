@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 
 	"bcnphase/internal/invariant"
 	"bcnphase/internal/sweep"
+	"bcnphase/internal/telemetry"
 )
 
 // Cache is the server's completed-artifact store, keyed by Spec.Key
@@ -91,6 +93,16 @@ type Config struct {
 	Cache Cache
 	// Now overrides the clock (tests); nil uses time.Now.
 	Now func() time.Time
+	// Registry receives the server's metrics (and, through the shared
+	// job instruments, the solver/sweep/netsim series of every executed
+	// job). Nil creates a private registry, so /metrics always serves.
+	// A registry must not be shared between Servers: the live gauges it
+	// registers are per-server.
+	Registry *telemetry.Registry
+	// Log, when non-nil, receives one line per notable request event
+	// (accept, finish, shed, breaker reject), each carrying the request
+	// ID echoed in the X-Request-ID response header.
+	Log io.Writer
 }
 
 // Server is the supervised job service. Create with New, mount
@@ -114,14 +126,17 @@ type Server struct {
 	inflight map[string]*inflightJob
 	ewmaSecs float64 // completed-job duration estimate for Retry-After
 
-	accepted       atomic.Uint64
-	completed      atomic.Uint64
-	failed         atomic.Uint64
-	shed           atomic.Uint64
-	cacheHits      atomic.Uint64
-	coalesced      atomic.Uint64
-	killed         atomic.Uint64
-	breakerRejects atomic.Uint64
+	// registry-backed telemetry: /statusz and /metrics read the same
+	// series the server increments.
+	registry *telemetry.Registry
+	metrics  *serverMetrics
+	jobm     jobMetrics
+	tracer   *telemetry.Tracer
+
+	// startMono anchors the monotonic uptime; always the real clock
+	// (not cfg.Now) so uptime never runs backwards under a test clock.
+	startMono time.Time
+	reqSeq    atomic.Uint64
 }
 
 // inflightJob coalesces concurrent submissions of the same spec onto
@@ -162,7 +177,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Server{
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	s := &Server{
 		cfg:         cfg,
 		breaker:     NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
 		cache:       cfg.Cache,
@@ -170,7 +188,36 @@ func New(cfg Config) (*Server, error) {
 		workerSlots: make(chan struct{}, cfg.Workers),
 		queueSlots:  make(chan struct{}, cfg.QueueCap),
 		inflight:    make(map[string]*inflightJob),
-	}, nil
+		registry:    cfg.Registry,
+		tracer:      telemetry.NewTracer(4096, nil),
+		startMono:   time.Now(),
+	}
+	s.metrics = newServerMetrics(s.registry, s)
+	s.jobm = newJobMetrics(s.registry)
+	s.breaker.transitions = s.metrics.breakerTransitions
+	return s, nil
+}
+
+// Registry exposes the server's metrics registry (for -telemetry dumps
+// by the embedding binary).
+func (s *Server) Registry() *telemetry.Registry { return s.registry }
+
+// Tracer exposes the server's span recorder.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// nextRequestID mints a process-unique request ID. IDs appear in
+// response headers, error bodies, and log lines — never inside artifact
+// JSON, which must stay byte-identical for a given spec.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("req-%08x-%06d", uint32(s.startMono.UnixNano()), s.reqSeq.Add(1))
+}
+
+// logf emits one request-log line when Config.Log is set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "serve: "+format+"\n", args...)
 }
 
 // Handler returns the service's HTTP mux.
@@ -181,6 +228,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.Handle("GET /metrics", s.registry.Handler())
+	telemetry.RegisterPprof(mux)
 	return mux
 }
 
@@ -203,9 +252,20 @@ type errorBody struct {
 	Violation string `json:"violation,omitempty"`
 	// Region is the breaker region of a quarantined request.
 	Region string `json:"region,omitempty"`
+	// RequestID echoes the X-Request-ID header so a failed response can
+	// be correlated with the server's log lines.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Error responses pick up the request ID the handler stamped on the
+	// response headers, so every failure is correlatable with the log.
+	if eb, ok := v.(errorBody); ok && eb.RequestID == "" {
+		if rid := w.Header().Get("X-Request-ID"); rid != "" {
+			eb.RequestID = rid
+			v = eb
+		}
+	}
 	data, err := json.Marshal(v)
 	if err != nil {
 		http.Error(w, `{"error":"encode failure","reason":"internal"}`, http.StatusInternalServerError)
@@ -291,6 +351,8 @@ func (s *Server) observeDuration(d time.Duration) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rid := s.nextRequestID()
+	w.Header().Set("X-Request-ID", rid)
 	if s.isDraining() {
 		s.reject(w, http.StatusServiceUnavailable, time.Second, errorBody{
 			Error: "server is draining", Reason: "draining",
@@ -313,14 +375,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// under overload — and byte-identical, because the stored bytes are
 	// served verbatim.
 	if raw, ok := s.cache.Lookup(key); ok {
-		s.cacheHits.Add(1)
+		s.metrics.cacheHits.Inc()
+		s.logf("rid=%s kind=%s key=%s cache=hit", rid, sp.Kind, key)
 		s.serveArtifact(w, key, raw, "hit")
 		return
 	}
 
 	region := sp.RegionKey()
 	if ok, retry := s.breaker.Allow(region); !ok {
-		s.breakerRejects.Add(1)
+		s.metrics.breakerRejects.Inc()
+		s.logf("rid=%s kind=%s key=%s reject=breaker-open region=%s", rid, sp.Kind, key, region)
 		s.reject(w, http.StatusServiceUnavailable, retry, errorBody{
 			Error:  fmt.Sprintf("parameter region %s is quarantined after repeated invariant aborts", region),
 			Reason: "breaker-open", Region: region,
@@ -334,7 +398,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queueSlots <- struct{}{}:
 	default:
-		s.shed.Add(1)
+		s.metrics.shed.Inc()
+		s.logf("rid=%s kind=%s key=%s reject=shed depth=%d", rid, sp.Kind, key, len(s.queueSlots))
 		s.reject(w, http.StatusTooManyRequests, s.retryAfter(), errorBody{
 			Error: "admission queue full", Reason: "shed",
 			QueueDepth: len(s.queueSlots), Utilization: s.utilization(),
@@ -351,17 +416,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.endJob()
-	s.accepted.Add(1)
+	s.metrics.accepted.Inc()
+	s.logf("rid=%s kind=%s key=%s accepted", rid, sp.Kind, key)
 
 	// Coalesce duplicates of an in-flight job onto its leader.
 	job, leader := s.registerInflight(key)
 	if !leader {
 		releaseQueue()
-		s.coalesced.Add(1)
+		s.metrics.coalesced.Inc()
 		select {
 		case <-job.done:
 		case <-r.Context().Done():
-			s.killed.Add(1)
+			s.metrics.killed.Inc()
 			s.reject(w, http.StatusRequestTimeout, 0, errorBody{
 				Error: "client went away while coalesced", Reason: "killed",
 			})
@@ -377,7 +443,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.workerSlots <- struct{}{}:
 	case <-r.Context().Done():
 		releaseQueue()
-		s.killed.Add(1)
+		s.metrics.killed.Inc()
 		s.completeInflight(key, job, nil, r.Context().Err())
 		s.reject(w, http.StatusRequestTimeout, 0, errorBody{
 			Error: "client went away while queued", Reason: "killed",
@@ -386,10 +452,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	releaseQueue()
 
+	span := s.tracer.Start("job")
+	span.SetAttr("rid", rid)
+	span.SetAttr("kind", sp.Kind)
+	span.SetAttr("region", region)
 	start := s.now()
+	wallStart := time.Now()
 	raw, execErr := s.execute(r.Context(), sp, key)
+	wall := time.Since(wallStart)
 	<-s.workerSlots
 	s.observeDuration(s.now().Sub(start))
+	s.metrics.jobSeconds.With(sp.Kind).Observe(wall.Seconds())
+	if execErr != nil {
+		span.SetAttr("error", execErr.Error())
+	}
+	span.End()
+	s.logf("rid=%s kind=%s key=%s finished err=%v wall=%s", rid, sp.Kind, key, execErr != nil, wall.Round(time.Microsecond))
 
 	if execErr == nil {
 		// Durability before acknowledgment, like the sweep checkpoint
@@ -433,12 +511,12 @@ func (s *Server) completeInflight(key string, job *inflightJob, raw []byte, err 
 // died, the pool did not), deadline, client kill, other failure.
 func (s *Server) finishResponse(w http.ResponseWriter, key, region string, raw []byte, err error, cacheState string) {
 	if err == nil {
-		s.completed.Add(1)
+		s.metrics.completed.Inc()
 		s.breaker.Success(region)
 		s.serveArtifact(w, key, raw, cacheState)
 		return
 	}
-	s.failed.Add(1)
+	s.metrics.failed.Inc()
 	if v, ok := invariant.StrictAbort(err); ok {
 		s.breaker.Failure(region)
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{
@@ -461,7 +539,7 @@ func (s *Server) finishResponse(w http.ResponseWriter, key, region string, raw [
 			Error: "job deadline exceeded", Reason: "deadline",
 		})
 	case errors.Is(err, context.Canceled):
-		s.killed.Add(1)
+		s.metrics.killed.Inc()
 		writeJSON(w, http.StatusRequestTimeout, errorBody{
 			Error: "job cancelled", Reason: "killed",
 		})
@@ -479,13 +557,15 @@ func (s *Server) serveArtifact(w http.ResponseWriter, key string, raw []byte, ca
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rid := s.nextRequestID()
+	w.Header().Set("X-Request-ID", rid)
 	key := r.PathValue("key")
 	raw, ok := s.cache.Lookup(key)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no artifact for key " + key, Reason: "not-found"})
 		return
 	}
-	s.cacheHits.Add(1)
+	s.metrics.cacheHits.Inc()
 	s.serveArtifact(w, key, raw, "hit")
 }
 
@@ -512,9 +592,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte("ready\n"))
 }
 
-// Status is the /statusz snapshot.
+// Status is the /statusz snapshot. Counter fields are read from the
+// telemetry registry — /statusz and /metrics can never disagree.
 type Status struct {
-	Draining       bool           `json:"draining"`
+	Draining bool `json:"draining"`
+	// UptimeSec is the monotonic process uptime (real clock, immune to
+	// test-clock overrides and wall-clock jumps).
+	UptimeSec      float64        `json:"uptime_sec"`
 	Workers        int            `json:"workers"`
 	QueueCap       int            `json:"queue_cap"`
 	InFlight       int            `json:"in_flight"`
@@ -529,6 +613,7 @@ type Status struct {
 	Coalesced      uint64         `json:"coalesced"`
 	Killed         uint64         `json:"killed"`
 	BreakerRejects uint64         `json:"breaker_rejects"`
+	BreakerTrips   uint64         `json:"breaker_trips"`
 	JournalLen     int            `json:"journal_len"`
 	Breaker        []RegionStatus `json:"breaker,omitempty"`
 }
@@ -540,20 +625,22 @@ func (s *Server) StatusSnapshot() Status {
 	s.mu.Unlock()
 	return Status{
 		Draining:       draining,
+		UptimeSec:      time.Since(s.startMono).Seconds(),
 		Workers:        s.cfg.Workers,
 		QueueCap:       s.cfg.QueueCap,
 		InFlight:       len(s.workerSlots),
 		Queued:         len(s.queueSlots),
 		ActiveJobs:     active,
 		Utilization:    s.utilization(),
-		Accepted:       s.accepted.Load(),
-		Completed:      s.completed.Load(),
-		Failed:         s.failed.Load(),
-		Shed:           s.shed.Load(),
-		CacheHits:      s.cacheHits.Load(),
-		Coalesced:      s.coalesced.Load(),
-		Killed:         s.killed.Load(),
-		BreakerRejects: s.breakerRejects.Load(),
+		Accepted:       s.metrics.accepted.Value(),
+		Completed:      s.metrics.completed.Value(),
+		Failed:         s.metrics.failed.Value(),
+		Shed:           s.metrics.shed.Value(),
+		CacheHits:      s.metrics.cacheHits.Value(),
+		Coalesced:      s.metrics.coalesced.Value(),
+		Killed:         s.metrics.killed.Value(),
+		BreakerRejects: s.metrics.breakerRejects.Value(),
+		BreakerTrips:   s.metrics.breakerTransitions.With("open").Value(),
 		JournalLen:     s.cache.Len(),
 		Breaker:        s.breaker.Snapshot(),
 	}

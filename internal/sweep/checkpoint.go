@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // Checkpoint persists completed point results across process restarts.
@@ -44,6 +45,9 @@ func RunCheckpointed[P, R any](ctx context.Context, points []P, fn Func[P, R], o
 			var v R
 			if err := json.Unmarshal(raw, &v); err == nil {
 				results[i] = Result[P, R]{Point: p, Value: v, Cached: true}
+				if opts.Metrics != nil {
+					opts.Metrics.Replayed.Inc()
+				}
 				continue
 			}
 			// An undecodable journal value (e.g. the result type changed
@@ -61,7 +65,14 @@ func RunCheckpointed[P, R any](ctx context.Context, points []P, fn Func[P, R], o
 		if err != nil {
 			return v, fmt.Errorf("sweep: checkpoint encode: %w", err)
 		}
-		if err := ck.Record(keys[i], raw); err != nil {
+		if opts.Metrics != nil {
+			began := time.Now()
+			err = ck.Record(keys[i], raw)
+			opts.Metrics.CheckpointSeconds.Observe(time.Since(began).Seconds())
+		} else {
+			err = ck.Record(keys[i], raw)
+		}
+		if err != nil {
 			return v, fmt.Errorf("sweep: checkpoint record: %w", err)
 		}
 		return v, nil

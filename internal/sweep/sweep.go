@@ -42,6 +42,9 @@ type Options struct {
 	// error in Result.Err. Run still returns the first error so callers
 	// can tell a degraded sweep from a clean one.
 	ContinueOnError bool
+	// Metrics optionally records point throughput, retries, failures,
+	// and checkpoint latency. Nil costs one comparison per point.
+	Metrics *Metrics
 }
 
 // Result pairs one input point with its output (or error).
@@ -130,7 +133,13 @@ func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], opts Options)
 					results[i] = Result[P, R]{Point: p, Err: err}
 					continue
 				}
-				results[i] = evalPoint(ctx, parent, p, fn, opts)
+				if opts.Metrics != nil {
+					began := time.Now()
+					results[i] = evalPoint(ctx, parent, p, fn, opts)
+					opts.Metrics.observePoint(results[i].Attempts, results[i].Err != nil, time.Since(began))
+				} else {
+					results[i] = evalPoint(ctx, parent, p, fn, opts)
+				}
 				if results[i].Err != nil {
 					setErr(results[i].Err)
 				}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	r := NewRegistry()
+	g := r.Gauge("bench", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 1000)
+	}
+}
+
+func BenchmarkVecWith(b *testing.B) {
+	r := NewRegistry()
+	cv := r.CounterVec("bench_total", "", "k")
+	keys := [4]string{"a", "b", "c", "d"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cv.With(keys[i%4]).Inc()
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Counter("c"+strconv.Itoa(i)+"_total", "").Add(uint64(i))
+		r.Histogram("h"+strconv.Itoa(i)+"_seconds", "", nil).Observe(float64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.CounterVec("c"+strconv.Itoa(i)+"_total", "", "k").With("v").Add(uint64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.WritePrometheus(io.Discard)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer(1024, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("bench").End()
+	}
+}

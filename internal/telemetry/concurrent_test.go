@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// Satellite coverage: concurrent registry writers. Run under -race
+// (make race / make check do) this exercises the double-checked child
+// creation, CAS gauge adds, histogram bucket updates, and concurrent
+// snapshots all at once.
+func TestConcurrentRegistryWriters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine registers the same families and hammers
+			// overlapping children.
+			c := r.Counter("w_total", "")
+			cv := r.CounterVec("wv_total", "", "k")
+			gauge := r.Gauge("wg", "")
+			h := r.Histogram("wh_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+			hv := r.HistogramVec("whv_seconds", "", nil, "k")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				cv.With(strconv.Itoa(i % 3)).Inc()
+				gauge.Add(1)
+				h.Observe(float64(i%100) / 100)
+				hv.With("x").Observe(0.5)
+				if i%500 == 0 {
+					_ = r.Snapshot() // readers race writers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := r.Counter("w_total", "").Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("wg", "").Value(); got != float64(total) {
+		t.Fatalf("gauge = %v, want %d", got, total)
+	}
+	h := r.Histogram("wh_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	var sum uint64
+	for _, k := range []string{"0", "1", "2"} {
+		sum += r.CounterVec("wv_total", "", "k").With(k).Value()
+	}
+	if sum != total {
+		t.Fatalf("vec total = %d, want %d", sum, total)
+	}
+}
+
+func TestConcurrentTracer(t *testing.T) {
+	tr := NewTracer(64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("work")
+				sp.SetAttr("i", strconv.Itoa(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != 64 {
+		t.Fatalf("ring holds %d spans, want 64", len(spans))
+	}
+	if got := tr.Dropped(); got != 400-64 {
+		t.Fatalf("dropped = %d, want %d", got, 400-64)
+	}
+}

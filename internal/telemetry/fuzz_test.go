@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzValidateNames fuzzes the metric-name/label-name validators (run
+// with seeds by `make check` via the fuzz-seeds target). The property
+// under test: a name the validator accepts must be renderable into the
+// Prometheus text format and into a registry without panicking, and
+// acceptance must agree with the documented character-class rules.
+func FuzzValidateNames(f *testing.F) {
+	for _, s := range []string{
+		"", "a", "a_total", "ns:sub:metric", "9bad", "bad-name", "bad name",
+		"_ok", "__reserved", "é", "a\x00b", "A9_z", ":", "le",
+		strings.Repeat("x", 300),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		merr := ValidateMetricName(name)
+		if (merr == nil) != metricNameOK(name) {
+			t.Fatalf("ValidateMetricName(%q) = %v, reference says ok=%v", name, merr, metricNameOK(name))
+		}
+		lerr := ValidateLabelName(name)
+		if (lerr == nil) != labelNameOK(name) {
+			t.Fatalf("ValidateLabelName(%q) = %v, reference says ok=%v", name, lerr, labelNameOK(name))
+		}
+		// Accepted names must be usable end to end without panics and
+		// must round-trip through the text format.
+		if merr == nil {
+			r := NewRegistry()
+			r.Counter(name, "fuzz").Inc()
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Fatalf("WritePrometheus: %v", err)
+			}
+			if !strings.Contains(b.String(), name+" 1\n") {
+				t.Fatalf("accepted name %q not rendered:\n%s", name, b.String())
+			}
+		}
+		if merr == nil && lerr == nil {
+			r := NewRegistry()
+			r.CounterVec(name+"_total", "fuzz", name).With("v").Inc()
+		}
+	})
+}
+
+// metricNameOK is an independent reference implementation of the
+// Prometheus metric-name rule [a-zA-Z_:][a-zA-Z0-9_:]*.
+func metricNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range []byte(s) {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if i == 0 && !alpha {
+			return false
+		}
+		if i > 0 && !alpha && !(r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelNameOK mirrors [a-zA-Z_][a-zA-Z0-9_]* with the "__" reservation.
+func labelNameOK(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range []byte(s) {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if i == 0 && !alpha {
+			return false
+		}
+		if i > 0 && !alpha && !(r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,28 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func readJSON(t *testing.T, path string, into any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(readFile(t, path)), into); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Satellite coverage: histogram quantile/bucket edge cases — empty
+// histogram, single sample, samples landing in the +Inf bucket, and
+// degenerate bucket layouts.
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("e_seconds", "", []float64{1, 2})
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("fresh histogram not empty")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Fatalf("Quantile(%v) of empty = %v, want NaN", q, h.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("s_seconds", "", []float64{1, 2, 4})
+	h.Observe(1.5)
+	if h.Count() != 1 || h.Sum() != 1.5 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	// The single sample is in (1,2]; every quantile interpolates inside
+	// that bucket, so the answer must lie in [1,2].
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Fatalf("Quantile(%v) = %v, want within (1,2]", q, got)
+		}
+	}
+}
+
+func TestHistogramInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("i_seconds", "", []float64{1, 2})
+	h.Observe(100) // beyond the last finite bound
+	h.Observe(math.Inf(1))
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	// All mass in +Inf: Prometheus semantics cap the estimate at the
+	// highest finite bound.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v, want 2", got)
+	}
+	snap := r.Snapshot()
+	f, _ := snap.Get("i_seconds")
+	bks := f.Series[0].Buckets
+	if bks[len(bks)-1].LE != "+Inf" || bks[len(bks)-1].Count != 2 {
+		t.Fatalf("+Inf bucket = %+v", bks[len(bks)-1])
+	}
+	if bks[0].Count != 0 || bks[1].Count != 0 {
+		t.Fatalf("finite buckets should be empty: %+v", bks)
+	}
+}
+
+func TestHistogramExplicitInfBoundStripped(t *testing.T) {
+	r := NewRegistry()
+	// +Inf and NaN bounds are stripped (the +Inf bucket is implicit);
+	// duplicates collapse; order is normalized.
+	h := r.Histogram("n_seconds", "", []float64{2, math.Inf(1), 1, 2, math.NaN()})
+	if len(h.bounds) != 2 || h.bounds[0] != 1 || h.bounds[1] != 2 {
+		t.Fatalf("bounds = %v, want [1 2]", h.bounds)
+	}
+}
+
+func TestHistogramOnlyInfBound(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("only_inf_seconds", "", []float64{math.Inf(1)})
+	h.Observe(3)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// No finite bound exists to cap against: quantiles are undefined.
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatalf("Quantile with no finite bounds = %v, want NaN", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 3})
+	// 10 samples uniform in (0,1], 10 in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	// Median rank 10 sits exactly at the top of the first bucket.
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %v, want 1", got)
+	}
+	// Rank 15 is halfway through (1,2].
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Quantile(0.75) = %v, want 1.5", got)
+	}
+	// Out-of-range q clamps rather than exploding.
+	if got := h.Quantile(2); got != 2 {
+		t.Fatalf("Quantile(2) = %v, want 2", got)
+	}
+	if got := h.Quantile(-1); math.IsNaN(got) {
+		t.Fatalf("Quantile(-1) = NaN, want clamped finite value")
+	}
+}
+
+func TestHistogramNegativeFirstBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("neg_units", "", []float64{-1, 1})
+	h.Observe(-5)
+	// The first bucket's bound is non-positive, so interpolating from
+	// zero would be wrong; the bound itself is returned.
+	if got := h.Quantile(0.5); got != -1 {
+		t.Fatalf("Quantile(0.5) = %v, want -1", got)
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("nan_seconds", "", []float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN observation recorded")
+	}
+}
+
+func TestHistogramVecSharedBounds(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("job_seconds", "", []float64{1, 2}, "kind")
+	hv.With("solve").Observe(0.5)
+	hv.With("netsim").Observe(3)
+	snap := r.Snapshot()
+	f, ok := snap.Get("job_seconds")
+	if !ok || len(f.Series) != 2 {
+		t.Fatalf("want 2 series: %+v", f)
+	}
+	for _, s := range f.Series {
+		if len(s.Buckets) != 3 {
+			t.Fatalf("series %v has %d buckets, want 3", s.LabelValues, len(s.Buckets))
+		}
+	}
+}

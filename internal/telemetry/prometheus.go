@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered. Every
+// registered family emits its # HELP and # TYPE header even when it has
+// no series yet, so scrapers and CI checks can assert presence before
+// first use.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			labels := renderLabels(f.Labels, s.LabelValues)
+			if f.Kind == "histogram" {
+				for _, bk := range s.Buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.Name,
+						renderLabelsExtra(f.Labels, s.LabelValues, "le", bk.LE), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.Name, labels, formatValue(s.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.Name, labels, s.Count)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.Name, labels, formatValue(s.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func renderLabels(names, values []string) string {
+	return renderLabelsExtra(names, values, "", "")
+}
+
+func renderLabelsExtra(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabelValue(v))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

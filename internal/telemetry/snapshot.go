@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time, deterministic copy of a registry:
+// families sorted by name, series sorted by label values, all float
+// fields clamped to JSON-safe finite values.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one named metric family.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Labels []string         `json:"labels,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one child series. Counters and gauges fill Value;
+// histograms fill Count, Sum, and Buckets (cumulative, Prometheus "le"
+// bounds rendered as strings so +Inf survives JSON).
+type SeriesSnapshot struct {
+	LabelValues []string         `json:"label_values,omitempty"`
+	Value       float64          `json:"value"`
+	Count       uint64           `json:"count,omitempty"`
+	Sum         float64          `json:"sum,omitempty"`
+	Buckets     []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// jsonSafe clamps non-finite floats so the snapshot always marshals.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(v, -1) {
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// formatBound renders a bucket bound the way Prometheus does.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Get returns the family with the given name, if present.
+func (s Snapshot) Get(name string) (FamilySnapshot, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Value returns the value of the first series of the named family
+// (counter count or gauge value), or 0 if absent.
+func (s Snapshot) Value(name string) float64 {
+	f, ok := s.Get(name)
+	if !ok || len(f.Series) == 0 {
+		return 0
+	}
+	return f.Series[0].Value
+}
+
+// Snapshot captures the registry. A nil registry yields an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Families: []FamilySnapshot{}}
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		out.Families = append(out.Families, f.snapshot())
+	}
+	return out
+}
+
+func (f *family) snapshot() FamilySnapshot {
+	fs := FamilySnapshot{
+		Name:   f.name,
+		Help:   f.help,
+		Kind:   f.kind.String(),
+		Labels: append([]string(nil), f.labels...),
+	}
+	if f.valueFn != nil {
+		fs.Series = []SeriesSnapshot{{Value: jsonSafe(f.valueFn())}}
+		return fs
+	}
+	f.mu.RLock()
+	type kv struct {
+		key string
+		c   child
+	}
+	kids := make([]kv, 0, len(f.children))
+	for k, c := range f.children {
+		kids = append(kids, kv{k, c})
+	}
+	f.mu.RUnlock()
+	sort.Slice(kids, func(i, j int) bool { return kids[i].key < kids[j].key })
+
+	fs.Series = make([]SeriesSnapshot, 0, len(kids))
+	for _, kid := range kids {
+		ss := SeriesSnapshot{}
+		if len(f.labels) > 0 {
+			ss.LabelValues = splitLabelKey(kid.key, len(f.labels))
+		}
+		switch c := kid.c.(type) {
+		case *Counter:
+			ss.Value = float64(c.Value())
+		case *Gauge:
+			ss.Value = jsonSafe(c.Value())
+		case *Histogram:
+			ss.Count = c.Count()
+			ss.Sum = jsonSafe(c.Sum())
+			var cum uint64
+			for i := range c.counts {
+				cum += c.counts[i].Load()
+				bound := math.Inf(1)
+				if i < len(c.bounds) {
+					bound = c.bounds[i]
+				}
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: formatBound(bound), Count: cum})
+			}
+		}
+		fs.Series = append(fs.Series, ss)
+	}
+	return fs
+}
+
+func splitLabelKey(key string, n int) []string {
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x1f' {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, key[start:])
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"bcnphase/internal/runstate"
+)
+
+// Summary is the JSON document a CLI's -telemetry flag dumps next to
+// its artifacts: the full metrics snapshot plus span-recorder totals.
+type Summary struct {
+	Tool         string   `json:"tool,omitempty"`
+	WallSeconds  float64  `json:"wall_seconds,omitempty"`
+	Metrics      Snapshot `json:"metrics"`
+	Spans        int      `json:"spans,omitempty"`
+	DroppedSpans uint64   `json:"dropped_spans,omitempty"`
+}
+
+// WriteSummary marshals s and writes it atomically to path.
+func WriteSummary(path string, s Summary) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encode summary: %w", err)
+	}
+	return runstate.WriteFileAtomic(path, append(raw, '\n'), 0o644)
+}
+
+// DumpDir writes <dir>/telemetry.json (the metrics summary) and, when
+// the tracer holds spans, <dir>/trace.jsonl, both atomically. It is the
+// single implementation behind every CLI's -telemetry flag.
+func DumpDir(dir, tool string, wallSeconds float64, reg *Registry, tr *Tracer) error {
+	s := Summary{
+		Tool:        tool,
+		WallSeconds: wallSeconds,
+		Metrics:     reg.Snapshot(),
+	}
+	if tr != nil {
+		spans := tr.Spans()
+		s.Spans = len(spans)
+		s.DroppedSpans = tr.Dropped()
+	}
+	if err := WriteSummary(filepath.Join(dir, "telemetry.json"), s); err != nil {
+		return err
+	}
+	if tr == nil || s.Spans == 0 {
+		return nil
+	}
+	af, err := runstate.CreateAtomic(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		return fmt.Errorf("telemetry: trace export: %w", err)
+	}
+	defer af.Abort()
+	if err := tr.WriteJSONL(af); err != nil {
+		return fmt.Errorf("telemetry: trace export: %w", err)
+	}
+	return af.Commit()
+}

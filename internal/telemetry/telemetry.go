@@ -1,0 +1,58 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// an atomic metrics registry (counters, gauges, histograms, labeled
+// families), lightweight trace spans with a ring-buffer recorder, and
+// pprof plumbing. It is built for hot simulation loops, so the disabled
+// path must stay near-free: every instrument is nil-safe — a nil
+// *Registry hands out nil instruments, and calling Inc/Set/Observe on a
+// nil instrument is a single pointer comparison and a return. Code can
+// therefore instrument unconditionally and let callers decide whether a
+// registry exists, mirroring the nil-Checker convention in
+// internal/invariant.
+//
+// Snapshots are deterministic (families and series sorted), JSON-safe
+// (non-finite values are clamped), and exportable both as a JSON
+// summary (WriteSummary) and in the Prometheus text exposition format
+// (WritePrometheus).
+package telemetry
+
+import "fmt"
+
+// ValidateMetricName checks a metric family name against the Prometheus
+// data-model rule [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidateMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q (byte %d)", name, i)
+		}
+	}
+	return nil
+}
+
+// ValidateLabelName checks a label name against the Prometheus rule
+// [a-zA-Z_][a-zA-Z0-9_]*. Names beginning with "__" are reserved for
+// internal use and rejected.
+func ValidateLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty label name")
+	}
+	if len(name) >= 2 && name[0] == '_' && name[1] == '_' {
+		return fmt.Errorf("telemetry: reserved label name %q", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid label name %q (byte %d)", name, i)
+		}
+	}
+	return nil
+}

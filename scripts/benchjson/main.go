@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable BENCH.json. It reads the benchmark stream on stdin,
+// echoes it unchanged to stdout (so the human-readable view survives in
+// CI logs), and writes the parsed results atomically to the -o path.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | go run ./scripts/benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"bcnphase/internal/runstate"
+)
+
+// Result is one benchmark line. Metrics maps unit → value, e.g.
+// "ns/op": 11031781, "B/op": 123456, "allocs/op": 789.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the BENCH.json document.
+type File struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output path for the parsed results")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, echo io.Writer, outPath string) error {
+	var doc File
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(pkg, line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return runstate.WriteFileAtomic(outPath, append(raw, '\n'), 0o644)
+}
+
+// parseLine decodes one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line.
+// Anything that does not follow the testing-package shape is skipped,
+// not fatal: the stream may interleave test noise.
+func parseLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Pkg: pkg, Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// splitProcs separates the GOMAXPROCS suffix: "BenchmarkFoo-8" →
+// ("BenchmarkFoo", 8). A name with no suffix reports procs 1.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p <= 0 {
+		return s, 1
+	}
+	return s[:i], p
+}

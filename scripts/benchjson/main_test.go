@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: bcnphase
+cpu: Test CPU @ 2.00GHz
+BenchmarkSolveStitched-8   	     100	  11031781 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkNoSuffix 	      50	   2000000 ns/op
+PASS
+ok  	bcnphase	1.234s
+pkg: bcnphase/internal/telemetry
+BenchmarkCounterInc-8   	1000000000	         0.5000 ns/op
+PASS
+`
+
+func TestRunParsesStream(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	var echo strings.Builder
+	if err := run(strings.NewReader(sample), &echo, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if echo.String() != sample {
+		t.Error("input not echoed verbatim")
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Test CPU") {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Pkg != "bcnphase" || b.Name != "BenchmarkSolveStitched" || b.Procs != 8 || b.Iterations != 100 {
+		t.Errorf("first: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 11031781 || b.Metrics["B/op"] != 123456 || b.Metrics["allocs/op"] != 789 {
+		t.Errorf("first metrics: %v", b.Metrics)
+	}
+	if doc.Benchmarks[1].Procs != 1 {
+		t.Errorf("no-suffix procs = %d, want 1", doc.Benchmarks[1].Procs)
+	}
+	if got := doc.Benchmarks[2]; got.Pkg != "bcnphase/internal/telemetry" || got.Metrics["ns/op"] != 0.5 {
+		t.Errorf("third: %+v", got)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 1},
+		{"BenchmarkA-b-16", "BenchmarkA-b", 16},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

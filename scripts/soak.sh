@@ -54,16 +54,70 @@ start_daemon() { # $1 = stdout file
     url="http://$addr"
 }
 
+# scrape_metrics pulls /metrics and asserts the serving series the
+# operator dashboards depend on are present.
+scrape_metrics() { # $1 = output file
+    curl -sf "$url/metrics" > "$1" || {
+        echo "FAIL: /metrics scrape failed" >&2
+        exit 1
+    }
+    for series in \
+        '# TYPE serve_queue_depth gauge' \
+        '# TYPE serve_shed_total counter' \
+        '# TYPE serve_accepted_total counter' \
+        '# TYPE serve_completed_total counter' \
+        '# TYPE serve_breaker_transitions_total counter' \
+        '# TYPE serve_job_seconds histogram' \
+        'serve_uptime_seconds'; do
+        grep -q "^${series}" "$1" || {
+            echo "FAIL: /metrics missing series: $series" >&2
+            cat "$1" >&2
+            exit 1
+        }
+    done
+}
+
+# counter_value extracts one unlabeled counter sample ("0" if absent).
+counter_value() { # $1 = metrics file, $2 = series name
+    awk -v name="$2" '$1 == name { print $2; found=1 } END { if (!found) print 0 }' "$1"
+}
+
+# assert_monotonic fails when a counter decreased between two scrapes.
+assert_monotonic() { # $1 = before file, $2 = after file, $3 = series
+    local before after
+    before="$(counter_value "$1" "$3")"
+    after="$(counter_value "$2" "$3")"
+    awk -v b="$before" -v a="$after" 'BEGIN { exit (a >= b) ? 0 : 1 }' || {
+        echo "FAIL: $3 went backwards: $before -> $after" >&2
+        exit 1
+    }
+}
+
 start_daemon "$work/d1.out"
 
 # One completed artifact to resubmit after the restart.
 "$work/bcnd" -url "$url" -post "$work/solve.json" > "$work/art1.json" 2> "$work/post1.err"
+
+scrape_metrics "$work/metrics1.txt"
 
 # A long job in flight when the signal lands: accepted work must finish
 # during the drain, not be dropped.
 "$work/bcnd" -url "$url" -post "$work/slow.json" > "$work/slow.json.out" 2> "$work/slow.err" &
 client=$!
 sleep 0.3
+
+# With a job accepted and in flight, every serving counter must be
+# present and none may have moved backwards since the first scrape.
+scrape_metrics "$work/metrics2.txt"
+for series in serve_accepted_total serve_completed_total serve_shed_total serve_failed_total; do
+    assert_monotonic "$work/metrics1.txt" "$work/metrics2.txt" "$series"
+done
+accepted="$(counter_value "$work/metrics2.txt" serve_accepted_total)"
+[ "$accepted" -ge 2 ] || {
+    echo "FAIL: serve_accepted_total=$accepted after two submissions, want >= 2" >&2
+    exit 1
+}
+echo "metrics scrape: serving series present and monotonic (accepted=$accepted)"
 
 kill -TERM "$daemon"
 set +e

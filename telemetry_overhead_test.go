@@ -1,0 +1,121 @@
+package bcnphase_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/sweep"
+	"bcnphase/internal/telemetry"
+)
+
+// The telemetry contract: instrumentation must be invisible in the hot
+// loops. These tests time the two layers it threads through —
+// core.Solve and the sweep worker loop — with metrics attached versus
+// the nil (disabled) path and require the difference to stay under 5%,
+// using the same interleaved best-of-N, multi-attempt scheme as
+// TestRecordInvariantOverhead. Attached-vs-nil bounds both sides: if a
+// fully attached run is within 5% of the nil path, the nil path's own
+// cost (one pointer comparison per touch point) is a fortiori inside
+// the budget.
+
+func solveWorkload(t *testing.T, m *core.SolveMetrics) {
+	t.Helper()
+	p := core.FigureExample()
+	for i := 0; i < 20; i++ {
+		tr, err := core.Solve(p, core.SolveOptions{Telemetry: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Outcome == 0 {
+			t.Fatal("unexpected outcome")
+		}
+	}
+}
+
+func sweepWorkload(t *testing.T, m *sweep.Metrics) {
+	t.Helper()
+	base := core.FigureExample()
+	var points []core.Params
+	for i := 0; i < 16; i++ {
+		p := base
+		p.Gi = 0.1 + 0.05*float64(i)
+		points = append(points, p)
+	}
+	results, err := sweep.Run(context.Background(), points,
+		func(_ context.Context, p core.Params) (float64, error) {
+			tr, err := core.Solve(p, core.SolveOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return tr.Rho, nil
+		}, sweep.Options{Workers: 1, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(points) {
+		t.Fatalf("got %d results", len(results))
+	}
+}
+
+// measureOverhead interleaves the two variants best-of-7 per attempt
+// and fails only when every attempt exceeds the budget, mirroring
+// TestRecordInvariantOverhead's noise discipline.
+func measureOverhead(t *testing.T, name string, budget float64, off, on func()) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews wall-clock comparison")
+	}
+	// Warm up both paths (allocator, code paths) before timing.
+	off()
+	on()
+	time1 := func(f func()) time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+	const attempts = 3
+	var dOff, dOn time.Duration
+	for i := 0; i < attempts; i++ {
+		dOff, dOn = time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		for j := 0; j < 7; j++ {
+			if d := time1(off); d < dOff {
+				dOff = d
+			}
+			if d := time1(on); d < dOn {
+				dOn = d
+			}
+		}
+		t.Logf("attempt %d: off=%v on=%v overhead=%.2f%%",
+			i+1, dOff, dOn, 100*(float64(dOn)/float64(dOff)-1))
+		if float64(dOn) <= (1+budget)*float64(dOff) {
+			return
+		}
+	}
+	t.Errorf("%s telemetry overhead %.2f%% exceeds %.0f%% in %d consecutive measurements (off=%v, on=%v)",
+		name, 100*(float64(dOn)/float64(dOff)-1), 100*budget, attempts, dOff, dOn)
+}
+
+// TestSolveTelemetryOverhead guards core.Solve: metrics attached must
+// cost < 5% versus the nil-telemetry path.
+func TestSolveTelemetryOverhead(t *testing.T) {
+	m := core.NewSolveMetrics(telemetry.NewRegistry())
+	measureOverhead(t, "core.Solve", 0.05,
+		func() { solveWorkload(t, nil) },
+		func() { solveWorkload(t, m) })
+}
+
+// TestSweepTelemetryOverhead guards the sweep worker loop: per-point
+// timing plus histogram observations must cost < 5% versus the nil
+// path on a real solve workload.
+func TestSweepTelemetryOverhead(t *testing.T) {
+	m := sweep.NewMetrics(telemetry.NewRegistry())
+	measureOverhead(t, "sweep.Run", 0.05,
+		func() { sweepWorkload(t, nil) },
+		func() { sweepWorkload(t, m) })
+}
