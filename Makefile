@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds metamorphic check bench smoke-resume soak clean
+.PHONY: all build test vet race fuzz-seeds metamorphic check bench smoke-resume soak soak-cluster clean
 
 all: check
 
@@ -48,6 +48,13 @@ smoke-resume:
 # restart cycle asserting exit 0 and byte-identical cached resubmits.
 soak:
 	./scripts/soak.sh
+
+# Cluster chaos soak: the in-process coordinator/worker fault-tolerance
+# test under the race detector, then a real-binary fleet (3 workers +
+# coordinator) with a kill -9 mid-sweep, byte-identical merged output
+# vs a local run, and journal replay across a coordinator restart.
+soak-cluster:
+	./scripts/cluster_soak.sh
 
 clean:
 	rm -rf out

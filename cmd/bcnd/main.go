@@ -12,12 +12,19 @@
 // gracefully: admission stops (503), accepted jobs finish, the journal
 // is already durable record-by-record, and the process exits 0.
 //
+// With -coordinator the same binary becomes a cluster sweep
+// coordinator instead: it shards gain-plane grids across a fleet of
+// ordinary bcnd workers (consistent hashing, work stealing, lease and
+// heartbeat driven re-assignment, per-worker circuit breakers) and
+// merges the results into one map.csv — see internal/cluster.
+//
 // Examples:
 //
 //	bcnd -addr 127.0.0.1:8077 -journal out/bcnd
 //	bcnd -selftest
 //	bcnd -url http://127.0.0.1:8077 -post job.json
 //	bcnd -url http://127.0.0.1:8077 -get <key>
+//	bcnd -coordinator -workers http://h1:8077,http://h2:8077 -journal out/coord
 package main
 
 import (
@@ -28,12 +35,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
+	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/invariant"
 	"bcnphase/internal/runstate"
@@ -63,8 +74,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcnd", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
 	var (
-		addr         = fs.String("addr", "127.0.0.1:8077", "listen address")
-		workers      = fs.Int("workers", 0, "concurrently executing jobs (0 = default)")
+		addr = fs.String("addr", "127.0.0.1:8077", "listen address")
+		// -workers is overloaded by mode: a pool size in server mode, a
+		// comma-separated list of worker base URLs in coordinator mode.
+		workers      = fs.String("workers", "", "server mode: concurrently executing jobs (0/empty = default); coordinator mode: comma-separated worker base URLs")
 		queueCap     = fs.Int("queue", 0, "admission queue capacity (0 = 4x workers)")
 		journalDir   = fs.String("journal", "", "run directory for the artifact journal; empty keeps artifacts in memory only")
 		invPol       = fs.String("invariants", "off", "invariant policy for jobs that name none: off, record, strict or clamp")
@@ -78,6 +91,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		clientURL    = fs.String("url", "http://127.0.0.1:8077", "server base URL for -post/-get client modes")
 		postFile     = fs.String("post", "", "client mode: submit the spec in this file (- for stdin) and print the artifact")
 		getKey       = fs.String("get", "", "client mode: fetch the artifact for this job key and print it")
+		postRetries  = fs.Int("post-retries", 4, "client mode: extra attempts when the server sheds with 429/503 (Retry-After honored)")
+		coordinator  = fs.Bool("coordinator", false, "run as a cluster sweep coordinator over the -workers URLs instead of a job server")
+		shardSize    = fs.Int("shard-size", 0, "coordinator mode: grid points per shard (0 = default)")
+		leaseTimeout = fs.Duration("lease-timeout", 30*time.Second, "coordinator mode: per-dispatch shard lease; an unanswered shard is re-assigned after this")
+		hbInterval   = fs.Duration("heartbeat-interval", time.Second, "coordinator mode: worker /statusz probe interval")
+		maxSweeps    = fs.Int("max-sweeps", 2, "coordinator mode: concurrent sweeps before submissions are shed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,11 +105,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case *postFile != "" && *getKey != "":
 		return fmt.Errorf("-post and -get are mutually exclusive")
 	case *postFile != "":
-		return clientPost(ctx, *clientURL, *postFile, out)
+		return clientPost(ctx, *clientURL, *postFile, *postRetries, out)
 	case *getKey != "":
 		return clientGet(ctx, *clientURL, *getKey, out)
 	}
+	if *coordinator {
+		return runCoordinator(ctx, coordOptions{
+			addr: *addr, workers: *workers, journalDir: *journalDir,
+			shardSize: *shardSize, leaseTimeout: *leaseTimeout,
+			hbInterval: *hbInterval, maxSweeps: *maxSweeps,
+			drainTimeout: *drainTimeout,
+		}, out)
+	}
 
+	poolWorkers := 0
+	if *workers != "" {
+		n, err := strconv.Atoi(*workers)
+		if err != nil {
+			return fmt.Errorf("-workers %q: want a pool size in server mode (URL lists are for -coordinator)", *workers)
+		}
+		poolWorkers = n
+	}
 	policy, err := invariant.ParsePolicy(*invPol)
 	if err != nil {
 		return err
@@ -101,7 +136,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	cfg := serve.Config{
-		Workers:          *workers,
+		Workers:          poolWorkers,
 		QueueCap:         *queueCap,
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
@@ -284,11 +319,114 @@ func postOnce(ctx context.Context, base string, body []byte) ([]byte, http.Heade
 	return raw, resp.Header, nil
 }
 
+// coordOptions carries the coordinator-mode flag values.
+type coordOptions struct {
+	addr         string
+	workers      string
+	journalDir   string
+	shardSize    int
+	leaseTimeout time.Duration
+	hbInterval   time.Duration
+	maxSweeps    int
+	drainTimeout time.Duration
+}
+
+// runCoordinator serves the cluster coordinator until a signal drains
+// it. The journal (when configured) makes sweeps crash-safe: a restart
+// replays every journaled point and re-executes only what is missing.
+func runCoordinator(ctx context.Context, opt coordOptions, out io.Writer) error {
+	var urls []string
+	for _, u := range strings.Split(opt.workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-coordinator needs -workers with at least one worker base URL")
+	}
+	for _, u := range urls {
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return fmt.Errorf("-workers: %q is not an http(s) base URL", u)
+		}
+	}
+	ccfg := cluster.Config{
+		Workers:           urls,
+		ShardSize:         opt.shardSize,
+		LeaseTimeout:      opt.leaseTimeout,
+		HeartbeatInterval: opt.hbInterval,
+		Log:               os.Stderr,
+	}
+	if opt.journalDir != "" {
+		if err := runstate.EnsureWritableDir(opt.journalDir); err != nil {
+			return fmt.Errorf("preflight: %w", err)
+		}
+		journal, err := runstate.OpenJournal(filepath.Join(opt.journalDir, runstate.JournalFileName))
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if d := journal.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "bcnd: journal replay dropped %d corrupt records\n", d)
+		}
+		fmt.Fprintf(out, "bcnd: coordinator journal %s replayed %d records\n", journal.Path(), journal.Len())
+		ccfg.Journal = journal
+		ccfg.MapPath = filepath.Join(opt.journalDir, "map.csv")
+	}
+	coord, err := cluster.New(ccfg)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	csrv, err := cluster.NewServer(cluster.ServerConfig{
+		Coordinator: coord,
+		MaxSweeps:   opt.maxSweeps,
+		Log:         os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bcnd: coordinating %d workers on %s\n", len(urls), ln.Addr())
+	if startedHook != nil {
+		startedHook(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: csrv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("bcnd: serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "bcnd: signal received, draining coordinator")
+	dctx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
+	defer cancel()
+	if err := csrv.Drain(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("%w: %v", runstate.ErrInterrupted, err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("%w: shutdown: %v", runstate.ErrInterrupted, err)
+	}
+	fmt.Fprintln(out, "bcnd: coordinator drained cleanly")
+	return nil
+}
+
 // clientPost submits the spec in file (or stdin for "-") and prints the
 // raw artifact bytes to stdout; status metadata goes to stderr so the
-// output stays byte-comparable between runs. Non-2xx responses become
-// exit 1 with the server's error body.
-func clientPost(ctx context.Context, base, file string, out io.Writer) error {
+// output stays byte-comparable between runs. A shed (429) or draining
+// (503) response is retried up to retries extra times with capped,
+// jittered backoff, honoring the server's Retry-After feedback — the
+// polite client behavior the serving layer's explicit-feedback design
+// asks for. Other non-2xx responses become exit 1 with the server's
+// error body.
+func clientPost(ctx context.Context, base, file string, retries int, out io.Writer) error {
 	var body []byte
 	var err error
 	if file == "-" {
@@ -299,12 +437,39 @@ func clientPost(ctx context.Context, base, file string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return err
+	const backoffCap = 15 * time.Second
+	backoff := 200 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		status, retryAfter, err := clientDo(req, out)
+		if err == nil || status == 0 {
+			return err // success, or a transport error retries won't help
+		}
+		if attempt >= retries || (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) {
+			return err
+		}
+		wait := backoff
+		if retryAfter > 0 {
+			wait = retryAfter
+		}
+		if wait > backoffCap {
+			wait = backoffCap
+		}
+		// Up to +25% jitter so a herd of shed clients does not re-collide
+		// on the same instant — the retry analogue of damping the gains.
+		wait += time.Duration(rand.Int63n(int64(wait)/4 + 1))
+		fmt.Fprintf(os.Stderr, "bcnd: shed with %d; retry %d/%d in %s\n", status, attempt+1, retries, wait.Round(time.Millisecond))
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return fmt.Errorf("%w: request cancelled", runstate.ErrInterrupted)
+		}
+		backoff *= 2
 	}
-	req.Header.Set("Content-Type", "application/json")
-	return clientDo(req, out)
 }
 
 // clientGet fetches a completed artifact by key.
@@ -313,27 +478,33 @@ func clientGet(ctx context.Context, base, key string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return clientDo(req, out)
+	_, _, err = clientDo(req, out)
+	return err
 }
 
-func clientDo(req *http.Request, out io.Writer) error {
+// clientDo performs one request. status is 0 for transport errors;
+// retryAfter is the server's Retry-After hint, when present.
+func clientDo(req *http.Request, out io.Writer) (status int, retryAfter time.Duration, err error) {
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			return fmt.Errorf("%w: request cancelled", runstate.ErrInterrupted)
+			return 0, 0, fmt.Errorf("%w: request cancelled", runstate.ErrInterrupted)
 		}
-		return err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return resp.StatusCode, 0, err
 	}
 	fmt.Fprintf(os.Stderr, "bcnd: status=%d cache=%s key=%s retry-after=%s\n",
 		resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get("X-Job-Key"), resp.Header.Get("Retry-After"))
+	if secs, perr := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); perr == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		return resp.StatusCode, retryAfter, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
 	}
 	_, err = out.Write(raw)
-	return err
+	return resp.StatusCode, retryAfter, err
 }

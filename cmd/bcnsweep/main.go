@@ -12,26 +12,36 @@
 // resumed to completion produces byte-identical output (stdout and
 // <dir>/map.csv) to a never-interrupted one.
 //
-// Example:
+// With -cluster <coordinator-url> the grid is not evaluated locally at
+// all: it is submitted to a bcnd coordinator (see internal/cluster),
+// which shards it across its worker fleet and streams back the merged
+// map.csv — byte-identical to what the same flags would produce
+// locally, because both sides share one canonical row evaluator.
+//
+// Examples:
 //
 //	bcnsweep -b-over-q0 5 -gi-lo 0.05 -gi-hi 12.8 -steps 12 -resume out/run1 > map.csv
+//	bcnsweep -steps 23 -cluster http://127.0.0.1:8070 > map.csv
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/invariant"
-	"bcnphase/internal/linear"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/sweep"
 	"bcnphase/internal/telemetry"
@@ -51,43 +61,16 @@ func main() {
 	}
 }
 
-// gainPoint is one (Gi, Gd) grid point.
-type gainPoint struct {
-	Gi, Gd float64
-}
+// The grid canon (point enumeration, identity fingerprint, journal
+// keys, row evaluation, CSV layout) lives in internal/cluster so this
+// command, the bcnd shard executor and the cluster coordinator cannot
+// drift apart; these aliases keep bcnsweep's vocabulary.
+type (
+	gainPoint = cluster.GainPoint
+	row       = cluster.Row
+)
 
-// sweepIdentity fingerprints everything that shapes a row's value, so a
-// journal from a different sweep configuration can never poison a
-// resumed run. Execution knobs (workers, timeout) are deliberately
-// excluded — they do not affect results.
-type sweepIdentity struct {
-	Experiment string
-	Format     int // bump when the CSV row layout changes
-	BOverQ0    float64
-	GiLo, GiHi float64
-	GdLo, GdHi float64
-	Steps      int
-	// Invariants is the checking policy: Clamp changes trajectories and
-	// every policy changes the violation columns, so rows journaled
-	// under one policy must not replay under another.
-	Invariants string
-}
-
-const csvHeader = "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho,violations,first_violation"
-
-// row is one evaluated grid point. Fields are exported so the -resume
-// journal can round-trip it through JSON.
-type row struct {
-	// CSV is the rendered output line.
-	CSV string
-	// Violations and FirstPred summarize the point's runtime invariant
-	// tallies for sweep-level aggregation.
-	Violations uint64
-	FirstPred  string
-}
-
-// InvariantViolations implements sweep.InvariantReporter.
-func (r row) InvariantViolations() (uint64, string) { return r.Violations, r.FirstPred }
+const csvHeader = cluster.CSVHeader
 
 // evalHook, when non-nil, observes every fresh (non-replayed) point
 // evaluation; tests use it to count executions and to interrupt the
@@ -106,9 +89,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		steps   = fs.Int("steps", 10, "grid points per axis")
 		workers = fs.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
 		timeout = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
-		resume  = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
-		invPol  = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
-		telem   = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
+		resume   = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
+		invPol   = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
+		telem    = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
+		clusterC = fs.String("cluster", "", "submit the grid to this bcnd coordinator URL instead of evaluating locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,50 +135,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	base := core.FigureExample()
-	base.B = *bOverQ0 * base.Q0
-	if base.B <= base.Q0 {
+	grid := cluster.GainGrid{
+		BOverQ0: *bOverQ0,
+		GiLo:    *giLo, GiHi: *giHi,
+		GdLo: *gdLo, GdHi: *gdHi,
+		Steps:      *steps,
+		Invariants: policy.String(),
+	}
+	if base := grid.Base(); base.B <= base.Q0 {
 		return fmt.Errorf("buffer multiple %v leaves B <= q0", *bOverQ0)
 	}
-
-	var points []gainPoint
-	for i := 0; i < *steps; i++ {
-		gi := geom(*giLo, *giHi, i, *steps)
-		for j := 0; j < *steps; j++ {
-			points = append(points, gainPoint{Gi: gi, Gd: geom(*gdLo, *gdHi, j, *steps)})
-		}
+	if err := grid.Validate(); err != nil {
+		return err
 	}
+	if *clusterC != "" {
+		done, err = runCluster(ctx, strings.TrimRight(*clusterC, "/"), grid, *resume, out)
+		return err
+	}
+
+	points := grid.Points()
 	eval := func(ctx context.Context, pt gainPoint) (row, error) {
 		if evalHook != nil {
 			evalHook(pt)
 		}
-		// Cooperative cancellation point: a drained point fails with
-		// ctx.Err (and is not journaled) instead of racing the shutdown.
-		if err := ctx.Err(); err != nil {
-			return row{}, err
-		}
-		p := base
-		p.Gi = pt.Gi
-		p.Gd = pt.Gd
-		v, err := linear.Compare(p)
-		if err != nil {
-			return row{}, err
-		}
-		tr, err := core.Solve(p, core.SolveOptions{
-			Invariants: invariant.NewPolicy(policy),
-			Telemetry:  solveMetrics,
-		})
-		if err != nil {
-			return row{}, err
-		}
-		return row{
-			CSV: fmt.Sprintf("%g,%g,%d,%v,%v,%g,%s,%v,%g,%g,%d,%s",
-				pt.Gi, pt.Gd, int(p.Case()), v.LinearStable, v.Theorem1OK,
-				core.Theorem1Bound(p), tr.Outcome, tr.Outcome.StronglyStable(),
-				tr.MaxQueue(), tr.Rho, tr.Violations.Total, tr.Violations.FirstPredicate()),
-			Violations: tr.Violations.Total,
-			FirstPred:  tr.Violations.FirstPredicate(),
-		}, nil
+		return grid.Eval(ctx, pt, solveMetrics)
 	}
 
 	// With -resume, completed points are journaled before the sweep moves
@@ -207,16 +171,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := runstate.EnsureWritableDir(*resume); err != nil {
 			return fmt.Errorf("preflight: %w", err)
 		}
-		identity := sweepIdentity{
-			Experiment: "bcnsweep/gainmap",
-			Format:     2,
-			BOverQ0:    *bOverQ0,
-			GiLo:       *giLo, GiHi: *giHi,
-			GdLo: *gdLo, GdHi: *gdHi,
-			Steps:      *steps,
-			Invariants: policy.String(),
-		}
-		fingerprint, err := runstate.HashJSON(identity)
+		fingerprint, err := grid.Fingerprint()
 		if err != nil {
 			return err
 		}
@@ -225,16 +180,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		defer journal.Close()
-		keyFn = func(pt gainPoint) string {
-			key, err := runstate.HashJSON(struct {
-				FP     string
-				Gi, Gd float64
-			}{fingerprint, pt.Gi, pt.Gd})
-			if err != nil { // unreachable for plain floats; fail closed as a cache miss
-				return fmt.Sprintf("unhashable:%g,%g", pt.Gi, pt.Gd)
-			}
-			return key
-		}
+		keyFn = func(pt gainPoint) string { return cluster.PointKey(fingerprint, pt) }
 	}
 
 	// Continue past bad points: every healthy row is still emitted in
@@ -308,7 +254,76 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
-func geom(lo, hi float64, i, n int) float64 {
-	f := float64(i) / float64(n-1)
-	return lo * math.Pow(hi/lo, f)
+// runCluster submits the grid to a bcnd coordinator and streams the
+// merged map.csv to out, retrying politely (Retry-After honored, capped
+// backoff) when the coordinator sheds or drains. Returns the number of
+// freshly evaluated points the coordinator reported.
+func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeDir string, out io.Writer) (int, error) {
+	body, err := json.Marshal(grid)
+	if err != nil {
+		return 0, err
+	}
+	if resumeDir != "" {
+		if err := runstate.EnsureWritableDir(resumeDir); err != nil {
+			return 0, fmt.Errorf("preflight: %w", err)
+		}
+	}
+	const (
+		maxAttempts = 5
+		backoffCap  = 15 * time.Second
+	)
+	backoff := 500 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweeps", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return 0, fmt.Errorf("%w: cluster submission cancelled", runstate.ErrInterrupted)
+			}
+			return 0, err
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return 0, rerr
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			fresh, _ := strconv.Atoi(resp.Header.Get("Bcn-Fresh"))
+			fmt.Fprintf(os.Stderr, "bcnsweep: cluster sweep %.12s done: points=%s fresh=%d replayed=%s orphan-shards=%s\n",
+				resp.Header.Get("Bcn-Fingerprint"), resp.Header.Get("Bcn-Points"), fresh,
+				resp.Header.Get("Bcn-Replayed"), resp.Header.Get("Bcn-Orphan-Shards"))
+			if _, err := out.Write(raw); err != nil {
+				return fresh, err
+			}
+			if resumeDir != "" {
+				if err := runstate.WriteFileAtomic(filepath.Join(resumeDir, "map.csv"), raw, 0o644); err != nil {
+					return fresh, err
+				}
+			}
+			return fresh, nil
+		case (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) && attempt < maxAttempts:
+			wait := backoff
+			if secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+			if wait > backoffCap {
+				wait = backoffCap
+			}
+			fmt.Fprintf(os.Stderr, "bcnsweep: coordinator answered %d; retry %d/%d in %s\n",
+				resp.StatusCode, attempt, maxAttempts-1, wait.Round(time.Millisecond))
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return 0, fmt.Errorf("%w: cluster submission cancelled", runstate.ErrInterrupted)
+			}
+			backoff *= 2
+		default:
+			return 0, fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"bcnphase/internal/cluster"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/telemetry"
 )
@@ -122,12 +123,17 @@ func TestRunSweepErrors(t *testing.T) {
 	}
 }
 
-func TestGeom(t *testing.T) {
-	if got := geom(1, 100, 0, 3); got != 1 {
-		t.Errorf("geom start = %v", got)
+func TestGridEndpoints(t *testing.T) {
+	g := cluster.GainGrid{BOverQ0: 5, GiLo: 1, GiHi: 100, GdLo: 1, GdHi: 100, Steps: 3}
+	pts := g.Points()
+	if len(pts) != 9 {
+		t.Fatalf("len(Points) = %d, want 9", len(pts))
 	}
-	if got := geom(1, 100, 2, 3); got != 100 {
-		t.Errorf("geom end = %v", got)
+	if pts[0].Gi != 1 || pts[0].Gd != 1 {
+		t.Errorf("grid start = %+v, want (1, 1)", pts[0])
+	}
+	if last := pts[len(pts)-1]; last.Gi != 100 || last.Gd != 100 {
+		t.Errorf("grid end = %+v, want (100, 100)", last)
 	}
 }
 

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"bcnphase/internal/telemetry"
+)
+
+// Breaker state encoding for the cluster_worker_breaker_state gauge.
+const (
+	breakerClosed   = 0.0
+	breakerHalfOpen = 1.0
+	breakerOpen     = 2.0
+)
+
+// workerBreaker is a per-worker circuit breaker over shard dispatch
+// outcomes — the PR 4 breaker shape (consecutive-failure threshold,
+// cooldown quarantine, single half-open probe) applied to workers
+// instead of parameter regions. A flapping worker is quarantined: the
+// coordinator stops routing shards to it, lets the other workers steal
+// its queue, and probes it once per cooldown instead of hammering a
+// node that is already failing — damping, not amplifying, the retry
+// loop.
+type workerBreaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	names     []string
+	states    []breakerState
+
+	transitions *telemetry.CounterVec
+	stateGauge  *telemetry.GaugeVec
+}
+
+type breakerState struct {
+	consecutive int
+	openUntil   time.Time
+	probing     bool
+	trips       uint64
+}
+
+// WorkerBreakerStatus is one worker's breaker snapshot for /statusz.
+type WorkerBreakerStatus struct {
+	Worker      string `json:"worker"`
+	State       string `json:"state"` // "closed", "open", "half-open"
+	Consecutive int    `json:"consecutive_failures"`
+	Trips       uint64 `json:"trips"`
+	// RetryAfterSec is the remaining cooldown for an open worker.
+	RetryAfterSec int64 `json:"retry_after_sec,omitempty"`
+}
+
+// newWorkerBreaker builds a breaker for the named workers. threshold
+// <= 0 disables tripping (Allow always true); now == nil uses time.Now.
+func newWorkerBreaker(names []string, threshold int, cooldown time.Duration, now func() time.Time, m *Metrics) *workerBreaker {
+	if now == nil {
+		now = time.Now
+	}
+	b := &workerBreaker{
+		threshold:   threshold,
+		cooldown:    cooldown,
+		now:         now,
+		names:       names,
+		states:      make([]breakerState, len(names)),
+		transitions: m.BreakerTransitions,
+		stateGauge:  m.BreakerState,
+	}
+	// Every worker's state series exists from startup, so a dashboard
+	// sees "closed" rather than an absent series before the first trip.
+	for _, name := range names {
+		b.stateGauge.With(name).Set(breakerClosed)
+	}
+	return b
+}
+
+// Allow reports whether a shard may be dispatched to worker w now. An
+// open worker rejects with its remaining cooldown; once the cooldown
+// elapses exactly one probe dispatch is admitted.
+func (b *workerBreaker) Allow(w int) (ok bool, retryAfter time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.states[w]
+	if s.openUntil.IsZero() {
+		return true, 0
+	}
+	if rem := s.openUntil.Sub(b.now()); rem > 0 {
+		return false, rem
+	}
+	if s.probing {
+		return false, b.cooldown / 4
+	}
+	s.probing = true
+	b.transitions.With("half-open").Inc()
+	b.stateGauge.With(b.names[w]).Set(breakerHalfOpen)
+	return true, 0
+}
+
+// Success records a completed dispatch on worker w, closing it.
+func (b *workerBreaker) Success(w int) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.states[w]
+	if !s.openUntil.IsZero() || s.probing {
+		b.transitions.With("closed").Inc()
+	}
+	s.consecutive = 0
+	s.openUntil = time.Time{}
+	s.probing = false
+	b.stateGauge.With(b.names[w]).Set(breakerClosed)
+}
+
+// Failure records a failed dispatch on worker w, opening it at the
+// threshold — and immediately re-opening a half-open worker whose probe
+// failed.
+func (b *workerBreaker) Failure(w int) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.states[w]
+	s.consecutive++
+	if s.probing || s.consecutive >= b.threshold {
+		s.openUntil = b.now().Add(b.cooldown)
+		s.probing = false
+		s.trips++
+		b.transitions.With("open").Inc()
+		b.stateGauge.With(b.names[w]).Set(breakerOpen)
+	}
+}
+
+// Release abandons a half-open probe on worker w without a verdict
+// (the dispatch was cancelled, not failed): the probe slot reopens so
+// the next Allow can claim it.
+func (b *workerBreaker) Release(w int) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.states[w]
+	if s.probing {
+		s.probing = false
+		b.stateGauge.With(b.names[w]).Set(breakerOpen)
+	}
+}
+
+// Open reports whether worker w is currently quarantined (no probe
+// admissible right now).
+func (b *workerBreaker) Open(w int) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.states[w]
+	if s.openUntil.IsZero() {
+		return false
+	}
+	return s.openUntil.Sub(b.now()) > 0 || s.probing
+}
+
+// Snapshot lists every worker's breaker state for /statusz.
+func (b *workerBreaker) Snapshot() []WorkerBreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]WorkerBreakerStatus, len(b.names))
+	for w, name := range b.names {
+		s := b.states[w]
+		st := WorkerBreakerStatus{Worker: name, State: "closed", Consecutive: s.consecutive, Trips: s.trips}
+		if !s.openUntil.IsZero() {
+			if rem := s.openUntil.Sub(b.now()); rem > 0 {
+				st.State = "open"
+				st.RetryAfterSec = int64(rem/time.Second) + 1
+			} else {
+				st.State = "half-open"
+			}
+		}
+		out[w] = st
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Package cluster shards a gain-plane sweep across N bcnd workers from
+// a fault-tolerant coordinator, turning the single-process sweep engine
+// into a horizontally scaled service.
+//
+// The unit of distribution is the shard: a deterministic grid-order
+// chunk of (Gi, Gd) points, keyed — like every durable object in this
+// repository — by runstate.HashJSON content hashes. Workers are plain
+// bcnd servers: a shard travels as an ordinary job spec (kind "shard")
+// through the same admission control, supervision, circuit breaking and
+// journal-backed dedup every other job gets, so cross-cluster dedup and
+// crash-safe resume fall out of the existing machinery for free.
+//
+// Robustness is the design center, and the failure handling is shaped
+// by the related-work warnings the ROADMAP cites. Every dispatch holds
+// a lease (a hard per-attempt deadline): a worker that dies mid-shard
+// — SIGKILL, partition, or silent hang — loses the lease and the shard
+// is re-assigned. Re-assignment is damped, not amplified ("Oscillations
+// with TCP-like Flow Control in Networks of Queues" warns that naive
+// multi-node retry loops oscillate): retries are bounded with
+// exponential backoff plus jitter, 429/502/503/504 responses honor the
+// worker's explicit Retry-After feedback (the RCP-style signal the
+// serving layer already emits), and a flapping worker is quarantined by
+// a per-worker circuit breaker with half-open probes. Idle workers
+// steal queued shards from stragglers, so one slow node lengthens the
+// tail by a shard, not by its whole queue.
+//
+// Durability mirrors internal/runstate's WAL discipline. The
+// coordinator journals every merged point row under the same content
+// key cmd/bcnsweep uses — a coordinator journal and a bcnsweep -resume
+// journal are interchangeable — and closes each shard with a final
+// "done" marker record. On resume, a shard whose rows are present but
+// whose done marker is missing is an orphan: it is surfaced (counted in
+// cluster_journal_orphan_shards_total) and re-executed rather than
+// silently trusted, and only the missing points are re-paid. The merged
+// map.csv is byte-identical to a single-node run's.
+package cluster

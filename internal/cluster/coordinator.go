@@ -1,0 +1,901 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bcnphase/internal/runstate"
+	"bcnphase/internal/sweep"
+	"bcnphase/internal/telemetry"
+)
+
+// DefaultShardSize is the default points-per-shard granularity. Small
+// enough that losing a worker mid-shard forfeits little work and
+// stragglers are steal-able; large enough that per-dispatch overhead
+// stays negligible against evaluation cost.
+const DefaultShardSize = 32
+
+// Journal is the coordinator's durable store: the merged rows and
+// shard done markers live here. runstate.Journal satisfies it (and its
+// point keys are interchangeable with cmd/bcnsweep -resume journals);
+// sweep.Checkpoint is the same contract.
+type Journal = sweep.Checkpoint
+
+// Config configures a Coordinator. The zero value of every field gets
+// a sensible default from New except Workers, which is required.
+type Config struct {
+	// Workers are the bcnd worker base URLs (e.g. http://10.0.0.1:8077).
+	Workers []string
+	// ShardSize bounds points per shard (default DefaultShardSize).
+	ShardSize int
+	// LeaseTimeout is the hard deadline of one dispatch attempt: a
+	// worker that has not answered within it loses the shard (default
+	// 30s).
+	LeaseTimeout time.Duration
+	// HeartbeatInterval paces worker /statusz probes (default 1s;
+	// negative disables heartbeats). HeartbeatMisses consecutive probe
+	// failures mark a worker lost (default 3).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// RetryBase seeds the jittered exponential backoff between dispatch
+	// attempts (default 100ms); RetryCap bounds both the backoff and an
+	// honored Retry-After hint (default 5s). MaxAttempts bounds attempts
+	// per assignment (default 3); MaxAssignments bounds how many times a
+	// shard may move between workers before the sweep fails (default
+	// 4 × workers, minimum 8).
+	RetryBase      time.Duration
+	RetryCap       time.Duration
+	MaxAttempts    int
+	MaxAssignments int
+	// BreakerThreshold consecutive dispatch failures quarantine a worker
+	// for BreakerCooldown (defaults 3 and 10s; negative threshold
+	// disables the breaker).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Journal, when non-nil, makes the sweep durable and resumable:
+	// every merged row and shard done marker is recorded, and a restart
+	// replays instead of recomputing.
+	Journal Journal
+	// MapPath, when non-empty, receives the merged map.csv atomically on
+	// success.
+	MapPath string
+	// Registry receives the cluster metrics; nil creates a private one.
+	Registry *telemetry.Registry
+	// Client is the HTTP client for dispatch and heartbeats; nil uses a
+	// default with per-call timeouts from contexts.
+	Client *http.Client
+	// Log, when non-nil, receives one line per notable cluster event.
+	Log io.Writer
+	// Seed makes retry jitter deterministic in tests; 0 seeds from the
+	// clock.
+	Seed int64
+	// Now overrides the breaker clock (tests); nil uses time.Now.
+	Now func() time.Time
+	// OnShardDone, when non-nil, observes every completed shard just
+	// after its done marker is durable (instrumentation and chaos-test
+	// seam; called from dispatch goroutines).
+	OnShardDone func(worker string, shard Shard)
+}
+
+// Coordinator shards gain-plane sweeps across bcnd workers. Create
+// with New, run sweeps with Run (safe for concurrent use), stop the
+// background heartbeat monitor with Close.
+type Coordinator struct {
+	cfg     Config
+	ring    *ring
+	m       *Metrics
+	breaker *workerBreaker
+	client  *http.Client
+	rng     *lockedRand
+
+	mu       sync.Mutex
+	alive    []bool
+	draining []bool
+	misses   []int
+	inflight []map[*context.CancelFunc]struct{}
+	runs     map[*sweepState]struct{}
+
+	stop     chan struct{}
+	hbDone   chan struct{}
+	registry *telemetry.Registry
+}
+
+// New builds a Coordinator from cfg, applying defaults, and starts the
+// heartbeat monitor.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one worker URL")
+	}
+	seen := make(map[string]bool, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		if w == "" {
+			return nil, fmt.Errorf("cluster: empty worker URL")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("cluster: duplicate worker URL %s", w)
+		}
+		seen[w] = true
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = DefaultShardSize
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 30 * time.Second
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 5 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.MaxAssignments <= 0 {
+		cfg.MaxAssignments = 4 * len(cfg.Workers)
+		if cfg.MaxAssignments < 8 {
+			cfg.MaxAssignments = 8
+		}
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		ring:     newRing(cfg.Workers),
+		m:        NewMetrics(cfg.Registry),
+		client:   cfg.Client,
+		rng:      newLockedRand(cfg.Seed),
+		alive:    make([]bool, len(cfg.Workers)),
+		draining: make([]bool, len(cfg.Workers)),
+		misses:   make([]int, len(cfg.Workers)),
+		inflight: make([]map[*context.CancelFunc]struct{}, len(cfg.Workers)),
+		runs:     make(map[*sweepState]struct{}),
+		stop:     make(chan struct{}),
+		hbDone:   make(chan struct{}),
+		registry: cfg.Registry,
+	}
+	c.breaker = newWorkerBreaker(cfg.Workers, cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now, c.m)
+	for w := range cfg.Workers {
+		// Optimistic start: workers are presumed alive until heartbeats
+		// (or dispatch failures through the breaker) say otherwise.
+		c.alive[w] = true
+		c.inflight[w] = make(map[*context.CancelFunc]struct{})
+		c.m.WorkerUp.With(cfg.Workers[w]).Set(1)
+	}
+	if cfg.HeartbeatInterval > 0 {
+		go c.heartbeatLoop()
+	} else {
+		close(c.hbDone)
+	}
+	return c, nil
+}
+
+// Registry exposes the coordinator's metrics registry.
+func (c *Coordinator) Registry() *telemetry.Registry { return c.registry }
+
+// Metrics exposes the coordinator's instrument set for read-side
+// assertions and embedding daemons.
+func (c *Coordinator) Metrics() *Metrics { return c.m }
+
+// BreakerSnapshot lists every worker's breaker state.
+func (c *Coordinator) BreakerSnapshot() []WorkerBreakerStatus { return c.breaker.Snapshot() }
+
+// Close stops the heartbeat monitor. In-flight Runs keep working (their
+// dispatch failures still drive re-assignment); Close exists so an
+// embedding daemon can shut down without leaking the monitor goroutine.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+		return
+	default:
+	}
+	close(c.stop)
+	<-c.hbDone
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(c.cfg.Log, "cluster: "+format+"\n", args...)
+}
+
+// WorkerHealth is one worker's liveness snapshot for /statusz.
+type WorkerHealth struct {
+	Worker   string `json:"worker"`
+	Up       bool   `json:"up"`
+	Draining bool   `json:"draining"`
+}
+
+// WorkerSnapshot lists every worker's heartbeat state.
+func (c *Coordinator) WorkerSnapshot() []WorkerHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerHealth, len(c.cfg.Workers))
+	for w, name := range c.cfg.Workers {
+		out[w] = WorkerHealth{Worker: name, Up: c.alive[w], Draining: c.draining[w]}
+	}
+	return out
+}
+
+// Output is one completed cluster sweep.
+type Output struct {
+	// CSV is the merged map.csv (header plus one row per grid point, in
+	// grid order) — byte-identical to a single-node run's.
+	CSV []byte
+	// Fingerprint is the grid identity hash rooting every journal key.
+	Fingerprint string
+	// Points, Fresh and Replayed count the grid size, freshly merged
+	// points, and journal-replayed points (Fresh + Replayed == Points).
+	Points   int
+	Fresh    int
+	Replayed int
+	// OrphanShards counts journal shards that were surfaced without a
+	// done marker and re-executed.
+	OrphanShards int
+}
+
+// sweepState is the shared dispatch state of one Run: per-worker shard
+// queues guarded by mu/cond, plus the merge target.
+type sweepState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	grid    GainGrid
+	fp      string
+	queues  [][]*shardRun
+	pending int // shards not yet done
+	fatal   error
+
+	rows  []Row
+	have  []bool
+	fresh int
+}
+
+type shardRun struct {
+	shard       Shard
+	assignments int
+	planned     int // ring-planned owner
+}
+
+func (s *sweepState) finished() bool { return s.pending == 0 || s.fatal != nil }
+
+// Run executes one gain-plane sweep across the cluster and returns the
+// merged map. It blocks until every shard is durable (or ctx expires /
+// the re-assignment budget is exhausted); concurrent Runs are safe and
+// share workers, breaker state and heartbeats.
+func (c *Coordinator) Run(ctx context.Context, grid GainGrid) (*Output, error) {
+	began := time.Now()
+	fp, points, shards, err := PlanShards(grid, c.cfg.ShardSize)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Fingerprint: fp, Points: len(points)}
+	st := &sweepState{
+		grid:   grid,
+		fp:     fp,
+		queues: make([][]*shardRun, len(c.cfg.Workers)),
+		rows:   make([]Row, len(points)),
+		have:   make([]bool, len(points)),
+	}
+	st.cond = sync.NewCond(&st.mu)
+
+	pendingShards, orphans, replayed := c.scanJournal(fp, shards, st)
+	out.Replayed = replayed
+	out.OrphanShards = orphans
+	c.m.ReplayedPoints.Add(uint64(replayed))
+	if orphans > 0 {
+		c.m.OrphanShards.Add(uint64(orphans))
+		c.logf("journal replay surfaced %d orphan shards (rows without done marker); re-executing", orphans)
+	}
+	c.countStrays(fp)
+
+	st.pending = len(pendingShards)
+	if st.pending > 0 {
+		// Plan each shard onto its ring owner; work-stealing and
+		// re-assignment take it from there.
+		for _, sr := range pendingShards {
+			sr.planned = c.ring.owner(DoneKey(fp, sr.shard.Index), nil)
+			st.queues[sr.planned] = append(st.queues[sr.planned], sr)
+		}
+		c.mu.Lock()
+		c.runs[st] = struct{}{}
+		c.mu.Unlock()
+		err = c.dispatchAll(ctx, st)
+		c.mu.Lock()
+		delete(c.runs, st)
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	st.mu.Lock()
+	out.Fresh = st.fresh
+	rows := st.rows
+	st.mu.Unlock()
+	for i := range st.have {
+		if !st.have[i] {
+			return nil, fmt.Errorf("cluster: internal: point %d missing after merge", i)
+		}
+	}
+	out.CSV = RenderCSV(rows)
+	if wall := time.Since(began).Seconds(); wall > 0 {
+		c.m.PointsPerSecond.Set(float64(out.Fresh) / wall)
+	}
+	if c.cfg.MapPath != "" {
+		if err := runstate.WriteFileAtomic(c.cfg.MapPath, out.CSV, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	c.logf("sweep %0.12s done: %d points (%d fresh, %d replayed, %d orphan shards) in %s",
+		fp, out.Points, out.Fresh, out.Replayed, out.OrphanShards, time.Since(began).Round(time.Millisecond))
+	return out, nil
+}
+
+// scanJournal classifies every planned shard against the journal:
+// complete (done marker and all rows — replay), orphan (rows without a
+// done marker, or a done marker missing rows — surface, count, and
+// re-execute what is missing), or fresh. Replayed rows land in st
+// directly; the returned shards are the ones still needing execution,
+// pruned to their missing points.
+func (c *Coordinator) scanJournal(fp string, shards []Shard, st *sweepState) (pending []*shardRun, orphans, replayed int) {
+	j := c.cfg.Journal
+	for _, sh := range shards {
+		missing := Shard{Index: sh.Index}
+		if j != nil {
+			for k, key := range sh.Keys {
+				raw, ok := j.Lookup(key)
+				if !ok {
+					missing.Points = append(missing.Points, sh.Points[k])
+					missing.GridIdx = append(missing.GridIdx, sh.GridIdx[k])
+					missing.Keys = append(missing.Keys, key)
+					continue
+				}
+				var row Row
+				if err := json.Unmarshal(raw, &row); err != nil || row.CSV == "" {
+					// Undecodable rows re-evaluate rather than poisoning
+					// the merge — same contract as sweep.RunCheckpointed.
+					missing.Points = append(missing.Points, sh.Points[k])
+					missing.GridIdx = append(missing.GridIdx, sh.GridIdx[k])
+					missing.Keys = append(missing.Keys, key)
+					continue
+				}
+				st.rows[sh.GridIdx[k]] = row
+				st.have[sh.GridIdx[k]] = true
+				replayed++
+			}
+		} else {
+			missing = sh
+		}
+		_, done := false, false
+		if j != nil {
+			_, done = j.Lookup(DoneKey(fp, sh.Index))
+		}
+		replayedHere := len(sh.Points) - len(missing.Points)
+		switch {
+		case done && len(missing.Points) == 0:
+			// Complete: fully replayed.
+		case !done && replayedHere == 0 && j != nil:
+			// Fresh (never started).
+			pending = append(pending, &shardRun{shard: sh})
+		case j == nil:
+			pending = append(pending, &shardRun{shard: sh})
+		default:
+			// Rows without a done marker (a worker or coordinator died
+			// mid-shard), or a done marker with rows missing (corrupt or
+			// superseded lines dropped on replay). Either way the shard
+			// is surfaced and re-executed, not silently trusted.
+			orphans++
+			if len(missing.Points) > 0 {
+				pending = append(pending, &shardRun{shard: missing})
+			} else {
+				// All rows present, only the marker missing: re-seal.
+				if err := c.recordDone(fp, sh); err == nil {
+					c.m.ShardsDone.Inc()
+				} else {
+					pending = append(pending, &shardRun{shard: missing})
+				}
+			}
+		}
+	}
+	return pending, orphans, replayed
+}
+
+// countStrays counts done markers left by other grids in this journal —
+// stale fingerprints are expected across re-parameterized runs, but
+// operators deserve a series that says so.
+func (c *Coordinator) countStrays(fp string) {
+	type keyser interface{ Keys() []string }
+	j, ok := c.cfg.Journal.(keyser)
+	if !ok {
+		return
+	}
+	stray := 0
+	for _, key := range j.Keys() {
+		if strings.HasPrefix(key, "shard-done:") && !strings.HasPrefix(key, "shard-done:"+fp+":") {
+			stray++
+		}
+	}
+	if stray > 0 {
+		c.m.StrayRecords.Add(uint64(stray))
+		c.logf("journal holds %d shard markers from other grids (stale fingerprints); ignored", stray)
+	}
+}
+
+// dispatchAll runs one worker loop per configured worker until every
+// pending shard is done or the sweep fails. A ticker broadcast wakes
+// parked workers so breaker cooldowns and heartbeat recoveries are
+// noticed without a dedicated signal for each.
+func (c *Coordinator) dispatchAll(ctx context.Context, st *sweepState) error {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	stopTick := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-tick.C:
+				st.cond.Broadcast()
+			case <-ctx.Done():
+				st.cond.Broadcast()
+				return
+			case <-stopTick:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := range c.cfg.Workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.workerLoop(ctx, st, w)
+		}(w)
+	}
+	wg.Wait()
+	close(stopTick)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.fatal != nil {
+		return st.fatal
+	}
+	if st.pending > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: cluster sweep cancelled with %d shards pending", runstate.ErrInterrupted, st.pending)
+		}
+		return fmt.Errorf("cluster: internal: dispatch stopped with %d shards pending", st.pending)
+	}
+	return nil
+}
+
+// eligible reports whether worker w may receive new shards right now.
+func (c *Coordinator) eligible(w int) bool {
+	c.mu.Lock()
+	ok := c.alive[w] && !c.draining[w]
+	c.mu.Unlock()
+	return ok && !c.breaker.Open(w)
+}
+
+// take pops the next shard for worker w: its own queue first, then a
+// steal from the longest other queue. Returns nil when no work is
+// takeable (empty queues, ineligible worker, or breaker denial).
+func (c *Coordinator) take(st *sweepState, w int) (sr *shardRun, stolen bool) {
+	if !c.eligible(w) {
+		return nil, false
+	}
+	if len(st.queues[w]) > 0 {
+		if ok, _ := c.breaker.Allow(w); !ok {
+			return nil, false
+		}
+		sr = st.queues[w][0]
+		st.queues[w] = st.queues[w][1:]
+		return sr, false
+	}
+	victim, max := -1, 0
+	for v := range st.queues {
+		if v != w && len(st.queues[v]) > max {
+			victim, max = v, len(st.queues[v])
+		}
+	}
+	if victim < 0 {
+		return nil, false
+	}
+	if ok, _ := c.breaker.Allow(w); !ok {
+		return nil, false
+	}
+	// Steal from the tail: the head is what the victim would run next.
+	last := len(st.queues[victim]) - 1
+	sr = st.queues[victim][last]
+	st.queues[victim] = st.queues[victim][:last]
+	return sr, true
+}
+
+// workerLoop is worker w's dispatch pump for one sweep.
+func (c *Coordinator) workerLoop(ctx context.Context, st *sweepState, w int) {
+	name := c.cfg.Workers[w]
+	for {
+		st.mu.Lock()
+		var (
+			sr     *shardRun
+			stolen bool
+		)
+		for {
+			if st.finished() || ctx.Err() != nil {
+				st.mu.Unlock()
+				st.cond.Broadcast()
+				return
+			}
+			if sr, stolen = c.take(st, w); sr != nil {
+				break
+			}
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
+		if stolen {
+			c.m.Stolen.Inc()
+			c.logf("worker %s stole shard %d", name, sr.shard.Index)
+		}
+
+		began := time.Now()
+		res, err := c.dispatch(ctx, st, w, sr)
+		switch {
+		case err == nil:
+			if mergeErr := c.merge(st, w, sr, res); mergeErr != nil {
+				// A journal that cannot keep rows breaks the durability
+				// contract; fail the sweep rather than fake completion.
+				st.mu.Lock()
+				if st.fatal == nil {
+					st.fatal = mergeErr
+				}
+				st.mu.Unlock()
+				st.cond.Broadcast()
+				return
+			}
+			c.m.ShardSeconds.Observe(time.Since(began).Seconds())
+			c.breaker.Success(w)
+		case ctx.Err() != nil:
+			// Sweep cancelled: hand the shard back without blaming the
+			// worker and let the loop exit on the next pass.
+			c.breaker.Release(w)
+			st.mu.Lock()
+			st.queues[w] = append(st.queues[w], sr)
+			st.mu.Unlock()
+			st.cond.Broadcast()
+		default:
+			c.breaker.Failure(w)
+			c.m.WorkerErrors.With(name).Inc()
+			sr.assignments++
+			c.logf("worker %s failed shard %d (assignment %d): %v", name, sr.shard.Index, sr.assignments, err)
+			if sr.assignments >= c.cfg.MaxAssignments {
+				st.mu.Lock()
+				if st.fatal == nil {
+					st.fatal = fmt.Errorf("cluster: shard %d exhausted %d assignments (last worker %s): %w",
+						sr.shard.Index, sr.assignments, name, err)
+				}
+				st.mu.Unlock()
+				st.cond.Broadcast()
+				return
+			}
+			c.requeue(st, sr, w)
+		}
+	}
+}
+
+// requeue moves a failed shard to another worker's queue (ring-ordered
+// among currently eligible workers, skipping the one that just failed
+// it) and counts the re-assignment.
+func (c *Coordinator) requeue(st *sweepState, sr *shardRun, failed int) {
+	target := c.ring.owner(DoneKey(st.fp, sr.shard.Index), func(w int) bool {
+		return w != failed && c.eligible(w)
+	})
+	if target < 0 {
+		// Nobody else is eligible: back onto the failed worker's queue;
+		// the breaker cooldown paces the next try.
+		target = failed
+	}
+	c.m.Reassigned.Inc()
+	st.mu.Lock()
+	st.queues[target] = append(st.queues[target], sr)
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// merge records a completed shard: every fresh row durably journaled
+// (skipping keys already present, so records are never duplicated),
+// then the shard's done marker, then the in-memory merge and progress
+// accounting.
+func (c *Coordinator) merge(st *sweepState, w int, sr *shardRun, res ShardResult) error {
+	if j := c.cfg.Journal; j != nil {
+		for i, key := range sr.shard.Keys {
+			if _, ok := j.Lookup(key); ok {
+				continue
+			}
+			raw, err := json.Marshal(res.Rows[i])
+			if err != nil {
+				return fmt.Errorf("cluster: encode row: %w", err)
+			}
+			if err := j.Record(key, raw); err != nil {
+				return fmt.Errorf("cluster: journal row: %w", err)
+			}
+		}
+		if err := c.recordDone(st.fp, sr.shard); err != nil {
+			return err
+		}
+	}
+	st.mu.Lock()
+	for i, idx := range sr.shard.GridIdx {
+		if !st.have[idx] {
+			st.have[idx] = true
+			st.rows[idx] = res.Rows[i]
+			st.fresh++
+			c.m.Points.Inc()
+		}
+	}
+	st.pending--
+	st.mu.Unlock()
+	c.m.ShardsDone.Inc()
+	c.logf("worker %s done shard %d (%d points)", c.cfg.Workers[w], sr.shard.Index, len(sr.shard.Points))
+	if c.cfg.OnShardDone != nil {
+		c.cfg.OnShardDone(c.cfg.Workers[w], sr.shard)
+	}
+	st.cond.Broadcast()
+	return nil
+}
+
+func (c *Coordinator) recordDone(fp string, sh Shard) error {
+	j := c.cfg.Journal
+	key := DoneKey(fp, sh.Index)
+	if _, ok := j.Lookup(key); ok {
+		return nil
+	}
+	raw, err := json.Marshal(doneMarker{Index: sh.Index, Points: len(sh.Points)})
+	if err != nil {
+		return fmt.Errorf("cluster: encode done marker: %w", err)
+	}
+	if err := j.Record(key, raw); err != nil {
+		return fmt.Errorf("cluster: journal done marker: %w", err)
+	}
+	return nil
+}
+
+// dispatch posts one shard assignment to worker w under the lease, with
+// bounded, jittered, Retry-After-honoring retries. Every error return
+// means "this worker did not complete this shard" — the caller decides
+// whether to re-assign.
+func (c *Coordinator) dispatch(ctx context.Context, st *sweepState, w int, sr *shardRun) (ShardResult, error) {
+	sh := &ShardSpec{Grid: st.grid, Index: sr.shard.Index, Points: sr.shard.Points}
+	timeoutMs := int64(c.cfg.LeaseTimeout / time.Millisecond * 9 / 10)
+	body, err := EncodeShardJob(sh, timeoutMs)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	bo := &backoff{base: c.cfg.RetryBase, cap: c.cfg.RetryCap, rng: c.rng}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.m.Retries.Inc()
+		}
+		if err := ctx.Err(); err != nil {
+			return ShardResult{}, err
+		}
+		if !c.eligible(w) && attempt > 0 {
+			// The worker was lost or started draining between attempts;
+			// stop hammering it and let the caller re-assign.
+			return ShardResult{}, fmt.Errorf("cluster: worker %s became unavailable: %w", c.cfg.Workers[w], lastErr)
+		}
+		res, retryAfter, err := c.postShard(ctx, w, sh, body)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if retryAfter < 0 { // terminal verdict, not transient
+			return ShardResult{}, err
+		}
+		select {
+		case <-time.After(bo.next(retryAfter)):
+		case <-ctx.Done():
+			return ShardResult{}, ctx.Err()
+		}
+	}
+	return ShardResult{}, fmt.Errorf("cluster: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// postShard performs one lease-bounded dispatch attempt. retryAfter is
+// the pacing hint for a transient failure (0 when the worker gave
+// none) and -1 for a terminal one.
+func (c *Coordinator) postShard(ctx context.Context, w int, sh *ShardSpec, body []byte) (res ShardResult, retryAfter time.Duration, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTimeout)
+	cp := &cancel
+	c.mu.Lock()
+	c.inflight[w][cp] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight[w], cp)
+		c.mu.Unlock()
+		cancel()
+	}()
+
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.Workers[w]+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return ShardResult{}, -1, fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ShardResult{}, 0, ctx.Err()
+		}
+		// Connection failures and lease expiries are transient from the
+		// cluster's point of view: the shard can move.
+		return ShardResult{}, 0, fmt.Errorf("cluster: post shard %d to %s: %w", sh.Index, c.cfg.Workers[w], err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxWireBytes+1))
+	if err != nil {
+		return ShardResult{}, 0, fmt.Errorf("cluster: read shard %d response: %w", sh.Index, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("cluster: worker %s answered shard %d with status %d: %s",
+			c.cfg.Workers[w], sh.Index, resp.StatusCode, truncate(raw, 200))
+		if retryableStatus(resp.StatusCode) {
+			return ShardResult{}, parseRetryAfter(resp.Header), err
+		}
+		return ShardResult{}, -1, err
+	}
+	res, err = DecodeShardArtifact(raw, sh)
+	if err != nil {
+		// A malformed result is a verdict about the worker, not load.
+		return ShardResult{}, -1, err
+	}
+	return res, 0, nil
+}
+
+// heartbeatLoop probes every worker's /statusz on the configured
+// interval. HeartbeatMisses consecutive failures mark a worker lost:
+// its in-flight leases are cancelled (so its shards re-assign now, not
+// at lease expiry) and its queued shards are redistributed. A healthy
+// probe marks it back up; a draining worker stops receiving new shards
+// while its in-flight work is allowed to finish — that is the point of
+// a drain.
+func (c *Coordinator) heartbeatLoop() {
+	defer close(c.hbDone)
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for w := range c.cfg.Workers {
+			st, err := c.probe(w)
+			c.noteHeartbeat(w, st, err)
+		}
+	}
+}
+
+// probe fetches one worker's /statusz under a short deadline.
+func (c *Coordinator) probe(w int) (WorkerStatus, error) {
+	budget := c.cfg.HeartbeatInterval
+	if budget > 2*time.Second {
+		budget = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.Workers[w]+"/statusz", nil)
+	if err != nil {
+		return WorkerStatus{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return WorkerStatus{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxWireBytes+1))
+	if err != nil {
+		return WorkerStatus{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return WorkerStatus{}, fmt.Errorf("statusz %d", resp.StatusCode)
+	}
+	return DecodeWorkerStatus(raw)
+}
+
+// noteHeartbeat folds one probe outcome into the liveness state.
+func (c *Coordinator) noteHeartbeat(w int, st WorkerStatus, err error) {
+	name := c.cfg.Workers[w]
+	c.mu.Lock()
+	if err != nil {
+		c.misses[w]++
+		lost := c.alive[w] && c.misses[w] >= c.cfg.HeartbeatMisses
+		if lost {
+			c.alive[w] = false
+			// Cancel the worker's leases now: its in-flight shards fail
+			// fast and re-assign instead of waiting out the lease.
+			for cp := range c.inflight[w] {
+				(*cp)()
+			}
+		}
+		c.mu.Unlock()
+		if lost {
+			c.m.WorkerUp.With(name).Set(0)
+			c.logf("worker %s lost after %d missed heartbeats", name, c.cfg.HeartbeatMisses)
+			c.redistribute(w)
+		}
+		return
+	}
+	recovered := !c.alive[w]
+	c.alive[w] = true
+	c.misses[w] = 0
+	drainChanged := c.draining[w] != st.Draining
+	c.draining[w] = st.Draining
+	c.mu.Unlock()
+	if recovered {
+		c.m.WorkerUp.With(name).Set(1)
+		c.logf("worker %s recovered", name)
+	}
+	if drainChanged && st.Draining {
+		c.logf("worker %s is draining; no new shards", name)
+		c.redistribute(w)
+	}
+}
+
+// redistribute moves a lost or draining worker's queued shards onto the
+// remaining eligible workers, counting each move as a re-assignment.
+func (c *Coordinator) redistribute(lost int) {
+	c.mu.Lock()
+	runs := make([]*sweepState, 0, len(c.runs))
+	for st := range c.runs {
+		runs = append(runs, st)
+	}
+	c.mu.Unlock()
+	for _, st := range runs {
+		st.mu.Lock()
+		q := st.queues[lost]
+		st.queues[lost] = nil
+		for _, sr := range q {
+			target := c.ring.owner(DoneKey(st.fp, sr.shard.Index), func(w int) bool {
+				return w != lost && c.eligible(w)
+			})
+			if target < 0 {
+				target = lost // nobody eligible; keep parked here
+			} else {
+				c.m.Reassigned.Inc()
+			}
+			st.queues[target] = append(st.queues[target], sr)
+		}
+		st.mu.Unlock()
+		st.cond.Broadcast()
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

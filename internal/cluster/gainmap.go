@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"bcnphase/internal/core"
+	"bcnphase/internal/invariant"
+	"bcnphase/internal/linear"
+	"bcnphase/internal/runstate"
+)
+
+// GainGrid describes one gain-plane sweep: the geometric (Gi, Gd) grid
+// cmd/bcnsweep evaluates, plus the invariant policy that shapes every
+// row. It is also the coordinator's submit wire message (POST
+// /v1/sweeps). The JSON field names match serve.SweepSpec so operators
+// write one request shape everywhere.
+type GainGrid struct {
+	// BOverQ0 sets the buffer as a multiple of q0 (must leave B > q0).
+	BOverQ0 float64 `json:"b_over_q0"`
+	// GiLo, GiHi, GdLo, GdHi bound the geometric gain axes.
+	GiLo float64 `json:"gi_lo"`
+	GiHi float64 `json:"gi_hi"`
+	GdLo float64 `json:"gd_lo"`
+	GdHi float64 `json:"gd_hi"`
+	// Steps is the per-axis resolution (Steps² grid points).
+	Steps int `json:"steps"`
+	// Invariants is the runtime invariant policy applied to every point
+	// ("off", "record", "strict", "clamp"); empty means off. It is part
+	// of the grid's identity: rows computed under one policy must never
+	// replay under another.
+	Invariants string `json:"invariants,omitempty"`
+}
+
+// MaxClusterSteps caps the per-axis resolution a coordinator accepts
+// over the wire (MaxClusterSteps² points). Local bcnsweep runs are not
+// bound by it.
+const MaxClusterSteps = 64
+
+// GainPoint is one (Gi, Gd) grid point.
+type GainPoint struct {
+	Gi float64 `json:"gi"`
+	Gd float64 `json:"gd"`
+}
+
+// Row is one evaluated grid point. The exported field names are frozen:
+// they are the JSON shape of both the shard result envelope and the
+// journal records cmd/bcnsweep has written since the resume PR, so a
+// coordinator journal and a bcnsweep -resume journal are
+// interchangeable.
+type Row struct {
+	// CSV is the rendered output line.
+	CSV string
+	// Violations and FirstPred summarize the point's runtime invariant
+	// tallies for sweep-level aggregation.
+	Violations uint64
+	FirstPred  string
+}
+
+// InvariantViolations implements sweep.InvariantReporter.
+func (r Row) InvariantViolations() (uint64, string) { return r.Violations, r.FirstPred }
+
+// CSVHeader is the merged map.csv header row, identical to
+// cmd/bcnsweep's.
+const CSVHeader = "gi,gd,case,linear_stable,theorem1_ok,theorem1_bound_bits,outcome,strongly_stable,max_q_bits,rho,violations,first_violation"
+
+// gridIdentity fingerprints everything that shapes a row's value. The
+// struct (field names, order, values) is byte-compatible with the
+// sweepIdentity cmd/bcnsweep has hashed since format 2, so grids keep
+// their journal keys no matter which side of the cluster evaluates
+// them. Execution knobs (workers, shard size, timeouts) are
+// deliberately excluded — they do not affect results.
+type gridIdentity struct {
+	Experiment string
+	Format     int // bump when the CSV row layout changes
+	BOverQ0    float64
+	GiLo, GiHi float64
+	GdLo, GdHi float64
+	Steps      int
+	Invariants string
+}
+
+// Validate checks the grid's structural and physical feasibility.
+func (g GainGrid) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("cluster: grid: %s", fmt.Sprintf(format, args...))
+	}
+	if g.Steps < 2 {
+		return fail("steps=%d must be >= 2", g.Steps)
+	}
+	for _, b := range []struct {
+		name string
+		v    float64
+	}{
+		{"b_over_q0", g.BOverQ0},
+		{"gi_lo", g.GiLo}, {"gi_hi", g.GiHi},
+		{"gd_lo", g.GdLo}, {"gd_hi", g.GdHi},
+	} {
+		if math.IsNaN(b.v) || math.IsInf(b.v, 0) || b.v <= 0 {
+			return fail("%s=%v must be positive and finite", b.name, b.v)
+		}
+	}
+	if g.BOverQ0 <= 1 {
+		return fail("b_over_q0=%v leaves B <= q0", g.BOverQ0)
+	}
+	if _, err := invariant.ParsePolicy(g.Invariants); err != nil {
+		return fail("%v", err)
+	}
+	return nil
+}
+
+// Policy returns the grid's parsed invariant policy (Off for empty).
+// The grid must have passed Validate.
+func (g GainGrid) Policy() invariant.Policy {
+	pol, _ := invariant.ParsePolicy(g.Invariants)
+	return pol
+}
+
+// Base materializes the shared parameter set every point perturbs: the
+// figure example with the grid's buffer multiple, exactly as
+// cmd/bcnsweep builds it.
+func (g GainGrid) Base() core.Params {
+	p := core.FigureExample()
+	p.B = g.BOverQ0 * p.Q0
+	return p
+}
+
+// Points enumerates the grid in row-major order (all Gd values for the
+// first Gi, then the next Gi) — the order map.csv rows appear in.
+func (g GainGrid) Points() []GainPoint {
+	pts := make([]GainPoint, 0, g.Steps*g.Steps)
+	for i := 0; i < g.Steps; i++ {
+		gi := geomAt(g.GiLo, g.GiHi, i, g.Steps)
+		for j := 0; j < g.Steps; j++ {
+			pts = append(pts, GainPoint{Gi: gi, Gd: geomAt(g.GdLo, g.GdHi, j, g.Steps)})
+		}
+	}
+	return pts
+}
+
+// Fingerprint is the grid's identity hash: the root of every point and
+// shard key. A journal written for one fingerprint can never poison a
+// run with another (stale-journal guard).
+func (g GainGrid) Fingerprint() (string, error) {
+	pol, err := invariant.ParsePolicy(g.Invariants)
+	if err != nil {
+		return "", fmt.Errorf("cluster: %v", err)
+	}
+	return runstate.HashJSON(gridIdentity{
+		Experiment: "bcnsweep/gainmap",
+		Format:     2,
+		BOverQ0:    g.BOverQ0,
+		GiLo:       g.GiLo, GiHi: g.GiHi,
+		GdLo: g.GdLo, GdHi: g.GdHi,
+		Steps:      g.Steps,
+		Invariants: pol.String(),
+	})
+}
+
+// PointKey is the journal key of one grid point under the grid
+// fingerprint — the same content key cmd/bcnsweep journals rows under.
+func PointKey(fingerprint string, pt GainPoint) string {
+	key, err := runstate.HashJSON(struct {
+		FP     string
+		Gi, Gd float64
+	}{fingerprint, pt.Gi, pt.Gd})
+	if err != nil { // unreachable for plain floats; fail closed as a cache miss
+		return fmt.Sprintf("unhashable:%g,%g", pt.Gi, pt.Gd)
+	}
+	return key
+}
+
+// Eval evaluates one grid point to its CSV row: the linear criterion of
+// [4], the Theorem 1 sufficient condition, and the stitched-trajectory
+// ground truth. It is the single canonical row evaluation — bcnsweep,
+// the shard executor in internal/serve, and the chaos tests all call
+// it, which is what makes "byte-identical to a single-node run" a
+// property instead of a hope.
+func (g GainGrid) Eval(ctx context.Context, pt GainPoint, tm *core.SolveMetrics) (Row, error) {
+	// Cooperative cancellation point: a drained point fails with ctx.Err
+	// (and is not journaled) instead of racing the shutdown.
+	if err := ctx.Err(); err != nil {
+		return Row{}, err
+	}
+	p := g.Base()
+	p.Gi = pt.Gi
+	p.Gd = pt.Gd
+	v, err := linear.Compare(p)
+	if err != nil {
+		return Row{}, err
+	}
+	tr, err := core.Solve(p, core.SolveOptions{
+		Invariants: invariant.NewPolicy(g.Policy()),
+		Telemetry:  tm,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		CSV: fmt.Sprintf("%g,%g,%d,%v,%v,%g,%s,%v,%g,%g,%d,%s",
+			pt.Gi, pt.Gd, int(p.Case()), v.LinearStable, v.Theorem1OK,
+			core.Theorem1Bound(p), tr.Outcome, tr.Outcome.StronglyStable(),
+			tr.MaxQueue(), tr.Rho, tr.Violations.Total, tr.Violations.FirstPredicate()),
+		Violations: tr.Violations.Total,
+		FirstPred:  tr.Violations.FirstPredicate(),
+	}, nil
+}
+
+// RenderCSV assembles the merged map.csv from rows in grid order.
+func RenderCSV(rows []Row) []byte {
+	var b strings.Builder
+	fmt.Fprintln(&b, CSVHeader)
+	for _, r := range rows {
+		fmt.Fprintln(&b, r.CSV)
+	}
+	return []byte(b.String())
+}
+
+func geomAt(lo, hi float64, i, n int) float64 {
+	f := float64(i) / float64(n-1)
+	return lo * math.Pow(hi/lo, f)
+}

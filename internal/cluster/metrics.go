@@ -1,0 +1,77 @@
+package cluster
+
+import "bcnphase/internal/telemetry"
+
+// Metrics is the coordinator's cluster-level instrument set, registered
+// on the coordinator's registry and served by its /metrics endpoint.
+// The cluster series answer the questions the single-node serve_*
+// family cannot: how many points the whole fleet has merged, how often
+// shards had to move, and which workers are quarantined.
+type Metrics struct {
+	// Points counts fresh points merged into the map (monotonic).
+	Points *telemetry.Counter
+	// ReplayedPoints counts points answered from the coordinator journal
+	// instead of being dispatched.
+	ReplayedPoints *telemetry.Counter
+	// ShardsDone counts shards whose done marker has been journaled.
+	ShardsDone *telemetry.Counter
+	// Reassigned counts shard moves off their planned worker: lease
+	// expiry, dispatch failure, worker loss, or redistribution of a dead
+	// worker's queue.
+	Reassigned *telemetry.Counter
+	// Stolen counts shards taken by an idle worker from another worker's
+	// queue (the work-stealing path, a subset of healthy completions).
+	Stolen *telemetry.Counter
+	// OrphanShards counts journal-replay shards whose rows were present
+	// without a final done marker (or vice versa) and were re-executed.
+	OrphanShards *telemetry.Counter
+	// StrayRecords counts journal records that belong to neither the
+	// grid's points nor its shard markers (stale fingerprints).
+	StrayRecords *telemetry.Counter
+	// Retries counts dispatch attempts beyond the first.
+	Retries *telemetry.Counter
+	// WorkerErrors counts failed dispatch attempts by worker.
+	WorkerErrors *telemetry.CounterVec
+	// Sweeps and SweepsShed count grid submissions accepted and shed by
+	// the coordinator's admission control.
+	Sweeps     *telemetry.Counter
+	SweepsShed *telemetry.Counter
+	// BreakerTransitions counts per-worker breaker state changes by
+	// destination state; BreakerState is the live per-worker state
+	// (0 closed, 1 half-open, 2 open).
+	BreakerTransitions *telemetry.CounterVec
+	BreakerState       *telemetry.GaugeVec
+	// WorkerUp is 1 while a worker's heartbeats are healthy.
+	WorkerUp *telemetry.GaugeVec
+	// PointsPerSecond is the fresh-point merge rate of the last sweep.
+	PointsPerSecond *telemetry.Gauge
+	// ShardSeconds is the wall-clock latency of one successful shard
+	// dispatch (queue, execution and transfer included).
+	ShardSeconds *telemetry.Histogram
+}
+
+// NewMetrics registers the cluster family on reg (nil-safe: a nil
+// registry yields no-op instruments).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Points:          reg.Counter("cluster_points_total", "fresh grid points merged into the map"),
+		ReplayedPoints:  reg.Counter("cluster_replayed_points_total", "points answered from the coordinator journal"),
+		ShardsDone:      reg.Counter("cluster_shards_done_total", "shards completed and journaled with a done marker"),
+		Reassigned:      reg.Counter("cluster_reassigned_shards_total", "shards re-assigned after lease expiry, dispatch failure or worker loss"),
+		Stolen:          reg.Counter("cluster_stolen_shards_total", "shards stolen from another worker's queue"),
+		OrphanShards:    reg.Counter("cluster_journal_orphan_shards_total", "journal shards missing their done marker, surfaced and re-executed"),
+		StrayRecords:    reg.Counter("cluster_journal_stray_records_total", "journal records outside the grid's key space (stale fingerprints)"),
+		Retries:         reg.Counter("cluster_dispatch_retries_total", "shard dispatch attempts beyond the first"),
+		WorkerErrors:    reg.CounterVec("cluster_worker_errors_total", "failed shard dispatch attempts by worker", "worker"),
+		Sweeps:          reg.Counter("cluster_sweeps_total", "grid submissions accepted by the coordinator"),
+		SweepsShed:      reg.Counter("cluster_sweeps_shed_total", "grid submissions shed by coordinator admission control"),
+		BreakerTransitions: reg.CounterVec("cluster_worker_breaker_transitions_total",
+			"per-worker circuit-breaker state transitions by destination state", "state"),
+		BreakerState: reg.GaugeVec("cluster_worker_breaker_state",
+			"per-worker breaker state: 0 closed, 1 half-open, 2 open", "worker"),
+		WorkerUp:        reg.GaugeVec("cluster_worker_up", "1 while the worker's heartbeats are healthy", "worker"),
+		PointsPerSecond: reg.Gauge("cluster_points_per_second", "fresh points merged per wall-clock second (last sweep)"),
+		ShardSeconds: reg.Histogram("cluster_shard_seconds",
+			"wall-clock latency of one successful shard dispatch", nil),
+	}
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// backoff paces retries of one shard dispatch: exponential growth with
+// full jitter, capped, and overridden by the worker's explicit
+// Retry-After feedback when present. Jitter matters as much as the
+// exponent — N clients that shed together and retry on the same
+// schedule re-collide forever (the oscillation the related work warns
+// about); randomizing within the window decorrelates them.
+type backoff struct {
+	base, cap time.Duration
+	attempt   int
+	rng       *lockedRand
+}
+
+// next returns the wait before the next attempt. retryAfter is the
+// worker's Retry-After hint (0 when absent): an explicit hint is
+// honored — capped, with a small jitter so simultaneous retriers still
+// spread — while absent hints fall back to jittered exponential growth.
+func (b *backoff) next(retryAfter time.Duration) time.Duration {
+	defer func() { b.attempt++ }()
+	if retryAfter > 0 {
+		if retryAfter > b.cap {
+			retryAfter = b.cap
+		}
+		// Up to +25% jitter on top of the hint, never below it.
+		return retryAfter + time.Duration(b.rng.Int63n(int64(retryAfter)/4+1))
+	}
+	d := b.base << b.attempt
+	if d > b.cap || d <= 0 {
+		d = b.cap
+	}
+	// Full jitter in [d/2, d].
+	return d/2 + time.Duration(b.rng.Int63n(int64(d)/2+1))
+}
+
+// retryableStatus reports whether an HTTP status from a worker is worth
+// retrying: overload shed (429), gateway failures (502, 504) and
+// unavailability (503, e.g. a draining worker) are transient; anything
+// else is a verdict about the request itself.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter reads a Retry-After header as delay seconds (the only
+// form the serving layer emits); malformed or HTTP-date values yield 0.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// lockedRand is a mutex-guarded rand.Rand: dispatch goroutines share
+// one deterministic (seedable) jitter source without a data race.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63n(n)
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ServerConfig configures the coordinator's HTTP front end.
+type ServerConfig struct {
+	// Coordinator executes the sweeps (required).
+	Coordinator *Coordinator
+	// MaxSweeps bounds concurrently running sweeps; submissions beyond it
+	// are shed with 429 + Retry-After (default 2).
+	MaxSweeps int
+	// SweepTimeout bounds one sweep end to end (default 0: unbounded,
+	// leases and re-assignment budgets still apply).
+	SweepTimeout time.Duration
+	// Log, when non-nil, receives one line per submission outcome.
+	Log io.Writer
+}
+
+// Server is the coordinator's HTTP layer: POST /v1/sweeps submits a
+// gain grid and streams back the merged map.csv; /statusz, /healthz and
+// /metrics mirror the worker daemon's operational surface. Identical
+// grids submitted concurrently coalesce onto one cluster sweep — the
+// fleet computes each fingerprint once no matter how many clients ask.
+type Server struct {
+	cfg ServerConfig
+	sem chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	active   map[string]*sweepCall
+	wg       sync.WaitGroup
+}
+
+// sweepCall is one in-flight sweep that late identical submissions
+// attach to.
+type sweepCall struct {
+	done chan struct{}
+	out  *Output
+	err  error
+}
+
+// NewServer wraps a Coordinator in its HTTP front end.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Coordinator == nil {
+		return nil, fmt.Errorf("cluster: server needs a coordinator")
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 2
+	}
+	return &Server{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxSweeps),
+		active: make(map[string]*sweepCall),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "cluster: "+format+"\n", args...)
+}
+
+// Handler returns the coordinator's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.cfg.Coordinator.Registry().Handler())
+	return mux
+}
+
+// Drain stops admitting sweeps and waits (bounded by ctx) for running
+// ones to finish.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: drain cut short: %w", ctx.Err())
+	}
+}
+
+// clusterError is the JSON shape of every non-2xx coordinator response
+// (same contract as the worker daemon's errorBody).
+type clusterError struct {
+	Error         string `json:"error"`
+	Reason        string `json:"reason"`
+	RetryAfterSec int64  `json:"retry_after_sec,omitempty"`
+}
+
+func (s *Server) reject(w http.ResponseWriter, status int, retryAfter time.Duration, body clusterError) {
+	if retryAfter > 0 {
+		secs := int64(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		body.RetryAfterSec = secs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	c := s.cfg.Coordinator
+	grid, err := DecodeSweepRequest(r.Body, MaxWireBytes)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, 0, clusterError{Error: err.Error(), Reason: "malformed-grid"})
+		return
+	}
+	fp, err := grid.Fingerprint()
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, 0, clusterError{Error: err.Error(), Reason: "malformed-grid"})
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reject(w, http.StatusServiceUnavailable, time.Second, clusterError{
+			Error: "coordinator is draining", Reason: "draining"})
+		return
+	}
+	if call, ok := s.active[fp]; ok {
+		// Identical grid already running: ride along instead of paying
+		// for a second sweep (the journal would dedup it anyway, but
+		// coalescing avoids even the dispatch round-trips).
+		s.mu.Unlock()
+		s.logf("sweep %0.12s coalesced onto running submission", fp)
+		s.respond(w, r, fp, call)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.mu.Unlock()
+		c.m.SweepsShed.Inc()
+		s.reject(w, http.StatusTooManyRequests, 2*time.Second, clusterError{
+			Error: fmt.Sprintf("coordinator at its limit of %d concurrent sweeps", s.cfg.MaxSweeps),
+			Reason: "shed"})
+		return
+	}
+	call := &sweepCall{done: make(chan struct{})}
+	s.active[fp] = call
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	c.m.Sweeps.Inc()
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			delete(s.active, fp)
+			s.mu.Unlock()
+			<-s.sem
+			s.wg.Done()
+			close(call.done)
+		}()
+		ctx := context.Background()
+		if s.cfg.SweepTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.SweepTimeout)
+			defer cancel()
+		}
+		// The sweep deliberately outlives the submitting connection: a
+		// client that gives up does not strand a half-journaled grid, and
+		// a resubmission replays the finished work from the journal.
+		call.out, call.err = c.Run(ctx, grid)
+	}()
+	s.respond(w, r, fp, call)
+}
+
+// respond waits for the sweep (or the client hanging up) and writes the
+// merged CSV.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, fp string, call *sweepCall) {
+	select {
+	case <-call.done:
+	case <-r.Context().Done():
+		// The sweep keeps running; tell the client how to pick it up.
+		s.reject(w, http.StatusRequestTimeout, 0, clusterError{
+			Error:  "client went away; sweep continues — resubmit the same grid to collect it",
+			Reason: "client-timeout"})
+		return
+	}
+	if call.err != nil {
+		s.logf("sweep %0.12s failed: %v", fp, call.err)
+		s.reject(w, http.StatusInternalServerError, 0, clusterError{Error: call.err.Error(), Reason: "sweep-failed"})
+		return
+	}
+	out := call.out
+	h := w.Header()
+	h.Set("Content-Type", "text/csv; charset=utf-8")
+	h.Set("Bcn-Fingerprint", out.Fingerprint)
+	h.Set("Bcn-Points", strconv.Itoa(out.Points))
+	h.Set("Bcn-Fresh", strconv.Itoa(out.Fresh))
+	h.Set("Bcn-Replayed", strconv.Itoa(out.Replayed))
+	h.Set("Bcn-Orphan-Shards", strconv.Itoa(out.OrphanShards))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.CSV)
+}
+
+// CoordinatorStatus is the /statusz document.
+type CoordinatorStatus struct {
+	Draining     bool                  `json:"draining"`
+	ActiveSweeps int                   `json:"active_sweeps"`
+	MaxSweeps    int                   `json:"max_sweeps"`
+	Workers      []WorkerHealth        `json:"workers"`
+	Breakers     []WorkerBreakerStatus `json:"breakers"`
+}
+
+// Status snapshots the coordinator for /statusz.
+func (s *Server) Status() CoordinatorStatus {
+	s.mu.Lock()
+	st := CoordinatorStatus{
+		Draining:     s.draining,
+		ActiveSweeps: len(s.active),
+		MaxSweeps:    s.cfg.MaxSweeps,
+	}
+	s.mu.Unlock()
+	st.Workers = s.cfg.Coordinator.WorkerSnapshot()
+	st.Breakers = s.cfg.Coordinator.BreakerSnapshot()
+	return st
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(s.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.reject(w, http.StatusServiceUnavailable, time.Second, clusterError{
+			Error: "draining", Reason: "draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}

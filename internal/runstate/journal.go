@@ -157,6 +157,20 @@ func (j *Journal) Record(key string, val []byte) error {
 	return nil
 }
 
+// Keys lists the distinct journaled keys in unspecified order. Replay
+// tooling (the cluster coordinator's orphan-shard and stale-fingerprint
+// scans) uses it to audit what a journal holds beyond the keys it was
+// about to ask for.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
 // Len is the number of distinct journaled keys.
 func (j *Journal) Len() int {
 	j.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/faults"
 	"bcnphase/internal/invariant"
@@ -20,12 +21,13 @@ import (
 // field order is fixed and no timestamps or host state appear — so a
 // resubmitted job can be answered byte-identically from the journal.
 type Artifact struct {
-	Key        string        `json:"key"`
-	Kind       string        `json:"kind"`
-	Invariants string        `json:"invariants"`
-	Solve      *SolveResult  `json:"solve,omitempty"`
-	Sweep      *SweepResult  `json:"sweep,omitempty"`
-	Netsim     *NetsimResult `json:"netsim,omitempty"`
+	Key        string               `json:"key"`
+	Kind       string               `json:"kind"`
+	Invariants string               `json:"invariants"`
+	Solve      *SolveResult         `json:"solve,omitempty"`
+	Sweep      *SweepResult         `json:"sweep,omitempty"`
+	Netsim     *NetsimResult        `json:"netsim,omitempty"`
+	Shard      *cluster.ShardResult `json:"shard,omitempty"`
 }
 
 // SolveResult summarizes one stitched trajectory.
@@ -93,6 +95,12 @@ func (s *Server) execute(ctx context.Context, sp Spec, key string) ([]byte, erro
 	if sp.Invariants == "" {
 		pol = s.cfg.Invariants
 	}
+	if sp.Kind == KindShard {
+		// A shard's policy travels inside the grid (it is part of the
+		// grid fingerprint), so every worker in a cluster runs the same
+		// policy regardless of its local server default.
+		pol = sp.Shard.Grid.Policy()
+	}
 	art, err := sweep.One(ctx, sp, func(ctx context.Context, sp Spec) (*Artifact, error) {
 		if h := execHook.Load(); h != nil {
 			(*h)(sp)
@@ -117,6 +125,12 @@ func (s *Server) execute(ctx context.Context, sp Spec, key string) ([]byte, erro
 				return nil, err
 			}
 			art.Netsim = res
+		case KindShard:
+			res, err := runShard(ctx, sp.Shard, s.jobm)
+			if err != nil {
+				return nil, err
+			}
+			art.Shard = res
 		default:
 			return nil, fmt.Errorf("%w: unknown kind %q", ErrSpec, sp.Kind)
 		}
@@ -229,6 +243,27 @@ func runSweep(ctx context.Context, s *SweepSpec, pol invariant.Policy, jm jobMet
 		}
 		res.Rows = append(res.Rows, r.Value.CSV)
 		res.Violations += r.Value.Violations
+	}
+	return res, nil
+}
+
+// runShard evaluates one cluster sweep shard through the shared
+// canonical row evaluator (cluster.GainGrid.Eval) — the same code path
+// cmd/bcnsweep runs locally, which is what lets the coordinator promise
+// a byte-identical merged map. Every point must produce a row: a shard
+// with holes is worthless to the merge, so the first error (including a
+// strict invariant abort, which feeds the worker's own region breaker)
+// fails the whole job and the coordinator re-assigns it.
+func runShard(ctx context.Context, s *cluster.ShardSpec, jm jobMetrics) (*cluster.ShardResult, error) {
+	results, _ := sweep.Run(ctx, s.Points, func(ctx context.Context, pt cluster.GainPoint) (cluster.Row, error) {
+		return s.Grid.Eval(ctx, pt, jm.solve)
+	}, sweep.Options{Workers: 2, ContinueOnError: true, Metrics: jm.sweep})
+	res := &cluster.ShardResult{Index: s.Index, Rows: make([]cluster.Row, len(results))}
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		res.Rows[i] = r.Value
 	}
 	return res, nil
 }

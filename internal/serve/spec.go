@@ -38,6 +38,7 @@ import (
 	"math"
 	"time"
 
+	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/faults"
 	"bcnphase/internal/invariant"
@@ -58,6 +59,11 @@ const (
 	// KindNetsim runs the packet-level simulator (internal/netsim),
 	// optionally with injected faults (internal/faults).
 	KindNetsim = "netsim"
+	// KindShard evaluates one shard of a cluster gain-plane sweep
+	// (internal/cluster): a subset of a grid's points, dispatched by a
+	// bcnd coordinator. Shard jobs ride the same admission control,
+	// supervision, dedup and journal as every other kind.
+	KindShard = "shard"
 )
 
 // Limits that keep a single job's resource appetite bounded no matter
@@ -91,9 +97,10 @@ type Spec struct {
 	// dedup identity.
 	Invariants string `json:"invariants,omitempty"`
 
-	Solve  *SolveSpec  `json:"solve,omitempty"`
-	Sweep  *SweepSpec  `json:"sweep,omitempty"`
-	Netsim *NetsimSpec `json:"netsim,omitempty"`
+	Solve  *SolveSpec         `json:"solve,omitempty"`
+	Sweep  *SweepSpec         `json:"sweep,omitempty"`
+	Netsim *NetsimSpec        `json:"netsim,omitempty"`
+	Shard  *cluster.ShardSpec `json:"shard,omitempty"`
 }
 
 // SolveSpec requests one stitched trajectory of the switched fluid
@@ -194,8 +201,11 @@ func (sp Spec) Validate() error {
 	if sp.Netsim != nil {
 		set++
 	}
+	if sp.Shard != nil {
+		set++
+	}
 	if set != 1 {
-		return fail("exactly one of solve, sweep, netsim must be set (got %d)", set)
+		return fail("exactly one of solve, sweep, netsim, shard must be set (got %d)", set)
 	}
 	switch sp.Kind {
 	case KindSolve:
@@ -214,8 +224,21 @@ func (sp Spec) Validate() error {
 			return fail("kind %q requires the netsim body", sp.Kind)
 		}
 		return sp.Netsim.validate()
+	case KindShard:
+		if sp.Shard == nil {
+			return fail("kind %q requires the shard body", sp.Kind)
+		}
+		if sp.Invariants != "" {
+			// The grid's Invariants field is part of the shard's dedup
+			// identity; a second spec-level policy would be ambiguous.
+			return fail("shard jobs carry the invariant policy in the grid, not the spec")
+		}
+		if err := sp.Shard.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		return nil
 	default:
-		return fail("unknown kind %q (want solve, sweep or netsim)", sp.Kind)
+		return fail("unknown kind %q (want solve, sweep, netsim or shard)", sp.Kind)
 	}
 }
 
@@ -351,6 +374,9 @@ type specIdentity struct {
 	Solve      *SolveSpec
 	Sweep      *SweepSpec
 	Netsim     *NetsimSpec
+	// Shard is omitted when nil so the identity bytes (and therefore the
+	// journal keys) of every pre-existing kind are unchanged.
+	Shard *cluster.ShardSpec `json:"Shard,omitempty"`
 }
 
 // artifactFormat versions every artifact layout served by this package.
@@ -372,6 +398,7 @@ func (sp Spec) Key() (string, error) {
 		Solve:      sp.Solve,
 		Sweep:      sp.Sweep,
 		Netsim:     sp.Netsim,
+		Shard:      sp.Shard,
 	})
 }
 
@@ -401,6 +428,9 @@ func (sp Spec) RegionKey() string {
 		return fmt.Sprintf("sweep:gi=%d..%d:gd=%d..%d", logBucket(sp.Sweep.GiLo), logBucket(sp.Sweep.GiHi), logBucket(sp.Sweep.GdLo), logBucket(sp.Sweep.GdHi))
 	case KindNetsim:
 		return fmt.Sprintf("netsim:gi=%d:gd=%d:n=%d", logBucket(sp.Netsim.Gi), logBucket(sp.Netsim.Gd), sp.Netsim.N)
+	case KindShard:
+		g := sp.Shard.Grid
+		return fmt.Sprintf("shard:gi=%d..%d:gd=%d..%d", logBucket(g.GiLo), logBucket(g.GiHi), logBucket(g.GdLo), logBucket(g.GdHi))
 	default:
 		return "unknown"
 	}

@@ -198,6 +198,68 @@ func TestRunCheckpointedUndecodableEntryReEvaluates(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointedTwoFingerprintsShareOneJournal is the
+// stale-journal guard: key functions embed the run's configuration
+// fingerprint (as cmd/bcnsweep and the cluster coordinator both do), so
+// one journal holding records from two different grid hashes replays
+// each run only its own rows — grid B never resumes from grid A's
+// values, and A's records survive B's run untouched.
+func TestRunCheckpointedTwoFingerprintsShareOneJournal(t *testing.T) {
+	ck := newMemCheckpoint()
+	points := []int{0, 1, 2, 3}
+	keyFor := func(fp string) func(int) string {
+		return func(p int) string { return fmt.Sprintf("%s:p%d", fp, p) }
+	}
+	evalFor := func(offset int, evals *atomic.Int64) func(context.Context, int) (int, error) {
+		return func(_ context.Context, p int) (int, error) {
+			evals.Add(1)
+			return p + offset, nil
+		}
+	}
+
+	// Run grid A to completion.
+	var evalsA atomic.Int64
+	resA, err := RunCheckpointed(context.Background(), points, evalFor(100, &evalsA), Options{}, ck, keyFor("gridA"))
+	if err != nil {
+		t.Fatalf("grid A: %v", err)
+	}
+
+	// Grid B shares the journal but hashes differently: every point is
+	// fresh, nothing replays from A's records.
+	var evalsB atomic.Int64
+	resB, err := RunCheckpointed(context.Background(), points, evalFor(200, &evalsB), Options{}, ck, keyFor("gridB"))
+	if err != nil {
+		t.Fatalf("grid B: %v", err)
+	}
+	if got := evalsB.Load(); got != int64(len(points)) {
+		t.Errorf("grid B evaluated %d points, want all %d despite A's journal records", got, len(points))
+	}
+	for i, r := range resB {
+		if r.Cached || r.Value != i+200 {
+			t.Errorf("grid B point %d poisoned by stale journal: %+v", i, r)
+		}
+	}
+
+	// A's records are intact: resuming A replays everything.
+	evalsA.Store(0)
+	resA2, err := RunCheckpointed(context.Background(), points, evalFor(100, &evalsA), Options{}, ck, keyFor("gridA"))
+	if err != nil {
+		t.Fatalf("grid A resume: %v", err)
+	}
+	if got := evalsA.Load(); got != 0 {
+		t.Errorf("grid A resume re-evaluated %d points after B's run", got)
+	}
+	for i := range resA {
+		if !resA2[i].Cached || resA2[i].Value != resA[i].Value {
+			t.Errorf("grid A resume[%d] = %+v, want cached %d", i, resA2[i], resA[i].Value)
+		}
+	}
+	// The journal now holds both grids' records side by side.
+	if wantLen := 2 * len(points); len(ck.m) != wantLen {
+		t.Errorf("journal holds %d records, want %d (both grids)", len(ck.m), wantLen)
+	}
+}
+
 func TestRunCheckpointedNilCheckpointFallsBack(t *testing.T) {
 	res, err := RunCheckpointed(context.Background(), []int{1, 2},
 		func(_ context.Context, p int) (int, error) { return p, nil },

@@ -1,0 +1,239 @@
+#!/usr/bin/env bash
+# Cluster chaos soak for the coordinator/worker fleet, in two stages:
+#
+#   1. The in-process cluster soak (internal/cluster TestClusterChaosSoak)
+#      under the race detector: three real serving stacks behind one
+#      coordinator, a 529-point grid, one worker hard-killed and one
+#      SIGTERM-drained mid-sweep — asserting a merged map byte-identical
+#      to a single-node run, zero lost points, zero duplicated journal
+#      records, and a full journal replay with every worker dead.
+#
+#   2. A real-binary fleet: three bcnd worker daemons plus one bcnd
+#      coordinator as separate processes, driven by bcnsweep -cluster.
+#      One worker takes kill -9 mid-sweep, the merged output must still
+#      match the same sweep evaluated locally byte-for-byte, the
+#      degraded two-worker fleet must absorb a second grid, a resubmit
+#      must be answered wholly from the coordinator journal, the replay
+#      must survive a coordinator restart, and every SIGTERM must drain
+#      cleanly — the process-level paths the in-process test cannot
+#      reach.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "== stage 1: in-process cluster chaos soak (race detector) =="
+go test -race -count=1 -run 'TestClusterChaosSoak' -v ./internal/cluster | grep -v '^=== RUN'
+
+echo "== stage 2: real-binary fleet with worker loss =="
+go build -o "$work/bcnd" ./cmd/bcnd
+go build -o "$work/bcnsweep" ./cmd/bcnsweep
+
+declare -a worker_pid worker_url
+
+# start_worker boots one bcnd job server on an ephemeral port and
+# scrapes its bound address from the startup banner.
+start_worker() { # $1 = index
+    "$work/bcnd" -addr 127.0.0.1:0 -journal "$work/worker$1" -workers 2 \
+        > "$work/worker$1.out" 2>&1 &
+    worker_pid[$1]=$!
+    local addr=""
+    for _ in $(seq 200); do
+        addr="$(sed -n 's/^bcnd: listening on //p' "$work/worker$1.out")"
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    [ -n "$addr" ] || {
+        echo "FAIL: worker $1 never bound" >&2
+        cat "$work/worker$1.out" >&2
+        exit 1
+    }
+    worker_url[$1]="http://$addr"
+}
+
+# start_coordinator boots the coordinator over the three workers. The
+# tight heartbeat makes worker loss visible within the soak's patience.
+start_coordinator() { # $1 = stdout file
+    "$work/bcnd" -coordinator \
+        -workers "${worker_url[1]},${worker_url[2]},${worker_url[3]}" \
+        -addr 127.0.0.1:0 -journal "$work/coord" \
+        -shard-size 8 -heartbeat-interval 100ms > "$1" 2>&1 &
+    coord=$!
+    local addr=""
+    for _ in $(seq 200); do
+        addr="$(sed -n 's/^bcnd: coordinating 3 workers on //p' "$1")"
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    [ -n "$addr" ] || {
+        echo "FAIL: coordinator never bound" >&2
+        cat "$1" >&2
+        exit 1
+    }
+    coord_url="http://$addr"
+}
+
+# counter_value extracts one unlabeled counter sample ("0" if absent).
+counter_value() { # $1 = metrics file, $2 = series name
+    awk -v name="$2" '$1 == name { print $2; found=1 } END { if (!found) print 0 }' "$1"
+}
+
+# scrape_metrics pulls the coordinator's /metrics and asserts the
+# cluster series the fleet dashboards depend on are present.
+scrape_metrics() { # $1 = output file
+    curl -sf "$coord_url/metrics" > "$1" || {
+        echo "FAIL: coordinator /metrics scrape failed" >&2
+        exit 1
+    }
+    for series in \
+        '# TYPE cluster_points_total counter' \
+        '# TYPE cluster_shards_done_total counter' \
+        '# TYPE cluster_reassigned_shards_total counter' \
+        '# TYPE cluster_replayed_points_total counter' \
+        '# TYPE cluster_journal_orphan_shards_total counter' \
+        '# TYPE cluster_worker_breaker_state gauge' \
+        '# TYPE cluster_worker_up gauge'; do
+        grep -q "^${series}" "$1" || {
+            echo "FAIL: /metrics missing series: $series" >&2
+            cat "$1" >&2
+            exit 1
+        }
+    done
+}
+
+start_worker 1
+start_worker 2
+start_worker 3
+start_coordinator "$work/coord1.out"
+
+# Local baselines with the same canonical evaluator: the cluster's bar
+# is byte-identity, not "close".
+"$work/bcnsweep" -steps 23 > "$work/baseA.csv"
+"$work/bcnsweep" -steps 9 > "$work/baseB.csv"
+
+# Sweep A (529 points, 67 shards) rides the full fleet; worker 1 takes
+# kill -9 as soon as shards start completing. Best-effort mid-sweep: if
+# the fleet outruns the poll the kill still lands before sweep B, which
+# must then survive on two workers either way.
+"$work/bcnsweep" -cluster "$coord_url" -steps 23 \
+    > "$work/clusterA.csv" 2> "$work/clusterA.err" &
+client=$!
+for _ in $(seq 400); do
+    done_shards="$(curl -sf "$coord_url/metrics" 2>/dev/null |
+        awk '$1 == "cluster_shards_done_total" { print $2 }')"
+    [ "${done_shards:-0}" -ge 2 ] && break
+    sleep 0.02
+done
+kill -9 "${worker_pid[1]}"
+set +e
+wait "${worker_pid[1]}" 2>/dev/null # reap; the shell's "Killed" notice is expected
+wait "$client"; cstatus=$?
+set -e
+if [ "$cstatus" -ne 0 ]; then
+    echo "FAIL: cluster sweep failed after losing a worker" >&2
+    cat "$work/clusterA.err" >&2
+    cat "$work/coord1.out" >&2
+    exit 1
+fi
+cmp "$work/baseA.csv" "$work/clusterA.csv" || {
+    echo "FAIL: merged cluster map diverges from the local sweep" >&2
+    exit 1
+}
+echo "sweep A merged byte-identically with a worker killed underway"
+
+# The heartbeat monitor must mark the killed worker down.
+for _ in $(seq 100); do
+    curl -sf "$coord_url/metrics" 2>/dev/null |
+        grep -q "^cluster_worker_up{worker=\"${worker_url[1]}\"} 0$" && break
+    sleep 0.05
+done
+curl -sf "$coord_url/metrics" |
+    grep -q "^cluster_worker_up{worker=\"${worker_url[1]}\"} 0$" || {
+    echo "FAIL: killed worker never marked down in cluster_worker_up" >&2
+    exit 1
+}
+
+# A different grid on the degraded two-worker fleet must still merge
+# byte-identically.
+"$work/bcnsweep" -cluster "$coord_url" -steps 9 \
+    > "$work/clusterB.csv" 2> "$work/clusterB.err"
+cmp "$work/baseB.csv" "$work/clusterB.csv" || {
+    echo "FAIL: degraded-fleet sweep diverges from the local sweep" >&2
+    exit 1
+}
+echo "sweep B merged byte-identically on the degraded fleet"
+
+scrape_metrics "$work/metrics1.txt"
+points="$(counter_value "$work/metrics1.txt" cluster_points_total)"
+[ "$points" -eq 610 ] || {
+    echo "FAIL: cluster_points_total=$points after 529+81 fresh points, want 610" >&2
+    exit 1
+}
+
+# Resubmitting sweep A must be answered wholly from the coordinator
+# journal: zero fresh evaluations, same bytes.
+"$work/bcnsweep" -cluster "$coord_url" -steps 23 \
+    > "$work/clusterA2.csv" 2> "$work/replay1.err"
+grep -q "fresh=0 replayed=529" "$work/replay1.err" || {
+    echo "FAIL: resubmit was not a pure journal replay" >&2
+    cat "$work/replay1.err" >&2
+    exit 1
+}
+cmp "$work/baseA.csv" "$work/clusterA2.csv" || {
+    echo "FAIL: replayed map diverges" >&2
+    exit 1
+}
+echo "resubmit answered from the journal (fresh=0 replayed=529)"
+
+# The replay must survive a coordinator restart: drain, reboot on the
+# same journal, resubmit — still zero fresh work, still the same bytes,
+# with no live worker needed for a single point.
+kill -TERM "$coord"
+set +e
+wait "$coord"; dstatus=$?
+set -e
+if [ "$dstatus" -ne 0 ]; then
+    echo "FAIL: coordinator SIGTERM drain exited $dstatus, want 0" >&2
+    cat "$work/coord1.out" >&2
+    exit 1
+fi
+grep -q "coordinator drained cleanly" "$work/coord1.out" || {
+    echo "FAIL: coordinator exited 0 without a drain summary" >&2
+    cat "$work/coord1.out" >&2
+    exit 1
+}
+
+start_coordinator "$work/coord2.out"
+grep -q "coordinator journal .* replayed" "$work/coord2.out" || {
+    echo "FAIL: restarted coordinator did not replay its journal" >&2
+    cat "$work/coord2.out" >&2
+    exit 1
+}
+"$work/bcnsweep" -cluster "$coord_url" -steps 23 \
+    > "$work/clusterA3.csv" 2> "$work/replay2.err"
+grep -q "fresh=0 replayed=529" "$work/replay2.err" || {
+    echo "FAIL: post-restart resubmit was not a pure journal replay" >&2
+    cat "$work/replay2.err" >&2
+    exit 1
+}
+cmp "$work/baseA.csv" "$work/clusterA3.csv" || {
+    echo "FAIL: post-restart replayed map diverges" >&2
+    exit 1
+}
+echo "journal replay survived the coordinator restart"
+
+# Everything still alive drains cleanly.
+kill -TERM "$coord" "${worker_pid[2]}" "${worker_pid[3]}"
+set +e
+wait "$coord"; dstatus=$?
+wait "${worker_pid[2]}"; w2status=$?
+wait "${worker_pid[3]}"; w3status=$?
+set -e
+for st in "$dstatus" "$w2status" "$w3status"; do
+    [ "$st" -eq 0 ] || {
+        echo "FAIL: a final SIGTERM drain exited $st, want 0" >&2
+        exit 1
+    }
+done
+echo "PASS: cluster soak — worker kill, byte-identical merge, journal replay across restart"
