@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds metamorphic check bench smoke-resume soak soak-cluster clean
+.PHONY: all build test vet race fuzz-seeds fuzz-short metamorphic check bench smoke-resume soak soak-cluster soak-chaos clean
 
 all: check
 
@@ -20,6 +20,13 @@ race:
 # catches regressions in the checked-in interesting inputs.
 fuzz-seeds:
 	$(GO) test -run='^Fuzz' ./...
+
+# Short coverage-guided fuzz burst: every Fuzz target in the repo runs
+# for FUZZTIME (default 10s) of actual fuzzing, one target per
+# invocation as the Go fuzzer requires. Catches quick-to-find decode,
+# digest and chaos-rewrite regressions the seed corpora alone miss.
+fuzz-short:
+	./scripts/fuzz_short.sh
 
 # Metamorphic relations of the model (scaling/exchange symmetries the
 # solver must honor exactly, and guard-passivity checks).
@@ -55,6 +62,13 @@ soak:
 # vs a local run, and journal replay across a coordinator restart.
 soak-cluster:
 	./scripts/cluster_soak.sh
+
+# Byzantine chaos soak: one of three workers rewrites result rows
+# behind a deterministic chaos proxy (latency/truncation on the honest
+# two); the audit layer must quarantine the liar and keep the merged
+# map byte-identical to a clean run, under the race detector.
+soak-chaos:
+	./scripts/chaos_soak.sh
 
 clean:
 	rm -rf out

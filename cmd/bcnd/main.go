@@ -70,6 +70,21 @@ func main() {
 // server is accepting; tests use it to reach an ephemeral port.
 var startedHook func(addr string)
 
+// newHTTPServer wraps a handler with the slow-client limits every
+// listener in this binary must carry: a bounded header read so a peer
+// that connects and never finishes its request line cannot pin a
+// connection forever, and an idle timeout so abandoned keep-alive
+// connections are reclaimed. Request bodies are bounded per-handler
+// (MaxBytesReader), not here, because job execution legitimately
+// outlives any fixed whole-request deadline.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcnd", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
@@ -97,6 +112,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		leaseTimeout = fs.Duration("lease-timeout", 30*time.Second, "coordinator mode: per-dispatch shard lease; an unanswered shard is re-assigned after this")
 		hbInterval   = fs.Duration("heartbeat-interval", time.Second, "coordinator mode: worker /statusz probe interval")
 		maxSweeps    = fs.Int("max-sweeps", 2, "coordinator mode: concurrent sweeps before submissions are shed")
+		auditFrac    = fs.Float64("audit-fraction", 0, "coordinator mode: fraction of completed shards re-executed on a second worker and compared bit-exactly (0 disables auditing, 1 audits everything)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,7 +130,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			addr: *addr, workers: *workers, journalDir: *journalDir,
 			shardSize: *shardSize, leaseTimeout: *leaseTimeout,
 			hbInterval: *hbInterval, maxSweeps: *maxSweeps,
-			drainTimeout: *drainTimeout,
+			drainTimeout: *drainTimeout, auditFraction: *auditFrac,
 		}, out)
 	}
 
@@ -189,7 +205,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if startedHook != nil {
 		startedHook(ln.Addr().String())
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -236,7 +252,7 @@ func runSelftest(ctx context.Context, srv *serve.Server, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	defer hs.Close()
@@ -321,14 +337,15 @@ func postOnce(ctx context.Context, base string, body []byte) ([]byte, http.Heade
 
 // coordOptions carries the coordinator-mode flag values.
 type coordOptions struct {
-	addr         string
-	workers      string
-	journalDir   string
-	shardSize    int
-	leaseTimeout time.Duration
-	hbInterval   time.Duration
-	maxSweeps    int
-	drainTimeout time.Duration
+	addr          string
+	workers       string
+	journalDir    string
+	shardSize     int
+	leaseTimeout  time.Duration
+	hbInterval    time.Duration
+	maxSweeps     int
+	drainTimeout  time.Duration
+	auditFraction float64
 }
 
 // runCoordinator serves the cluster coordinator until a signal drains
@@ -354,6 +371,7 @@ func runCoordinator(ctx context.Context, opt coordOptions, out io.Writer) error 
 		ShardSize:         opt.shardSize,
 		LeaseTimeout:      opt.leaseTimeout,
 		HeartbeatInterval: opt.hbInterval,
+		AuditFraction:     opt.auditFraction,
 		Log:               os.Stderr,
 	}
 	if opt.journalDir != "" {
@@ -394,7 +412,7 @@ func runCoordinator(ctx context.Context, opt coordOptions, out io.Writer) error 
 	if startedHook != nil {
 		startedHook(ln.Addr().String())
 	}
-	hs := &http.Server{Handler: csrv.Handler()}
+	hs := newHTTPServer(csrv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

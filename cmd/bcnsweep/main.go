@@ -81,14 +81,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bcnsweep", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are returned; keep usage noise out of test output
 	var (
-		bOverQ0 = fs.Float64("b-over-q0", 5, "buffer size as a multiple of q0")
-		giLo    = fs.Float64("gi-lo", 0.05, "Gi sweep lower bound")
-		giHi    = fs.Float64("gi-hi", 12.8, "Gi sweep upper bound")
-		gdLo    = fs.Float64("gd-lo", 1.0/1024, "Gd sweep lower bound")
-		gdHi    = fs.Float64("gd-hi", 0.5, "Gd sweep upper bound")
-		steps   = fs.Int("steps", 10, "grid points per axis")
-		workers = fs.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
-		timeout = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
+		bOverQ0  = fs.Float64("b-over-q0", 5, "buffer size as a multiple of q0")
+		giLo     = fs.Float64("gi-lo", 0.05, "Gi sweep lower bound")
+		giHi     = fs.Float64("gi-hi", 12.8, "Gi sweep upper bound")
+		gdLo     = fs.Float64("gd-lo", 1.0/1024, "Gd sweep lower bound")
+		gdHi     = fs.Float64("gd-hi", 0.5, "Gd sweep upper bound")
+		steps    = fs.Int("steps", 10, "grid points per axis")
+		workers  = fs.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
+		timeout  = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
 		resume   = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
 		invPol   = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
 		telem    = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
@@ -294,9 +294,10 @@ func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeD
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			fresh, _ := strconv.Atoi(resp.Header.Get("Bcn-Fresh"))
-			fmt.Fprintf(os.Stderr, "bcnsweep: cluster sweep %.12s done: points=%s fresh=%d replayed=%s orphan-shards=%s\n",
+			fmt.Fprintf(os.Stderr, "bcnsweep: cluster sweep %.12s done: points=%s fresh=%d replayed=%s orphan-shards=%s audited-shards=%s\n",
 				resp.Header.Get("Bcn-Fingerprint"), resp.Header.Get("Bcn-Points"), fresh,
-				resp.Header.Get("Bcn-Replayed"), resp.Header.Get("Bcn-Orphan-Shards"))
+				resp.Header.Get("Bcn-Replayed"), resp.Header.Get("Bcn-Orphan-Shards"),
+				resp.Header.Get("Bcn-Audited-Shards"))
 			if _, err := out.Write(raw); err != nil {
 				return fresh, err
 			}

@@ -9,9 +9,10 @@ import (
 
 // Breaker state encoding for the cluster_worker_breaker_state gauge.
 const (
-	breakerClosed   = 0.0
-	breakerHalfOpen = 1.0
-	breakerOpen     = 2.0
+	breakerClosed      = 0.0
+	breakerHalfOpen    = 1.0
+	breakerOpen        = 2.0
+	breakerQuarantined = 3.0
 )
 
 // workerBreaker is a per-worker circuit breaker over shard dispatch
@@ -39,12 +40,17 @@ type breakerState struct {
 	openUntil   time.Time
 	probing     bool
 	trips       uint64
+	// quarantined is the audit verdict: the worker was outvoted in a
+	// result-integrity quorum. Unlike an open breaker it never half-opens
+	// — wrong answers are a correctness problem, not a load problem, and
+	// only an operator restart clears it.
+	quarantined bool
 }
 
 // WorkerBreakerStatus is one worker's breaker snapshot for /statusz.
 type WorkerBreakerStatus struct {
 	Worker      string `json:"worker"`
-	State       string `json:"state"` // "closed", "open", "half-open"
+	State       string `json:"state"` // "closed", "open", "half-open", "quarantined"
 	Consecutive int    `json:"consecutive_failures"`
 	Trips       uint64 `json:"trips"`
 	// RetryAfterSec is the remaining cooldown for an open worker.
@@ -78,12 +84,17 @@ func newWorkerBreaker(names []string, threshold int, cooldown time.Duration, now
 // open worker rejects with its remaining cooldown; once the cooldown
 // elapses exactly one probe dispatch is admitted.
 func (b *workerBreaker) Allow(w int) (ok bool, retryAfter time.Duration) {
-	if b.threshold <= 0 {
-		return true, 0
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := &b.states[w]
+	if s.quarantined {
+		// Quarantine outranks everything, including a disabled breaker:
+		// it is an integrity verdict, not load management.
+		return false, time.Hour
+	}
+	if b.threshold <= 0 {
+		return true, 0
+	}
 	if s.openUntil.IsZero() {
 		return true, 0
 	}
@@ -99,14 +110,16 @@ func (b *workerBreaker) Allow(w int) (ok bool, retryAfter time.Duration) {
 	return true, 0
 }
 
-// Success records a completed dispatch on worker w, closing it.
+// Success records a completed dispatch on worker w, closing it. A
+// quarantined worker stays quarantined: answering *something* is not
+// evidence of answering *correctly*.
 func (b *workerBreaker) Success(w int) {
-	if b.threshold <= 0 {
-		return
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := &b.states[w]
+	if s.quarantined || b.threshold <= 0 {
+		return
+	}
 	if !s.openUntil.IsZero() || s.probing {
 		b.transitions.With("closed").Inc()
 	}
@@ -120,12 +133,12 @@ func (b *workerBreaker) Success(w int) {
 // threshold — and immediately re-opening a half-open worker whose probe
 // failed.
 func (b *workerBreaker) Failure(w int) {
-	if b.threshold <= 0 {
-		return
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := &b.states[w]
+	if s.quarantined || b.threshold <= 0 {
+		return
+	}
 	s.consecutive++
 	if s.probing || s.consecutive >= b.threshold {
 		s.openUntil = b.now().Add(b.cooldown)
@@ -140,31 +153,60 @@ func (b *workerBreaker) Failure(w int) {
 // (the dispatch was cancelled, not failed): the probe slot reopens so
 // the next Allow can claim it.
 func (b *workerBreaker) Release(w int) {
-	if b.threshold <= 0 {
-		return
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := &b.states[w]
+	if s.quarantined || b.threshold <= 0 {
+		return
+	}
 	if s.probing {
 		s.probing = false
 		b.stateGauge.With(b.names[w]).Set(breakerOpen)
 	}
 }
 
-// Open reports whether worker w is currently quarantined (no probe
-// admissible right now).
+// Open reports whether worker w is currently barred from new dispatches
+// (no probe admissible right now).
 func (b *workerBreaker) Open(w int) bool {
-	if b.threshold <= 0 {
-		return false
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := &b.states[w]
+	if s.quarantined {
+		return true
+	}
+	if b.threshold <= 0 {
+		return false
+	}
 	if s.openUntil.IsZero() {
 		return false
 	}
 	return s.openUntil.Sub(b.now()) > 0 || s.probing
+}
+
+// Quarantine places worker w in the terminal quarantined state: Allow
+// and Open bar it permanently, Success/Failure/Release are no-ops, and
+// no cooldown or probe ever reopens it. Returns false when w was already
+// quarantined, so callers can make the quorum verdict idempotent.
+func (b *workerBreaker) Quarantine(w int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.states[w]
+	if s.quarantined {
+		return false
+	}
+	s.quarantined = true
+	s.probing = false
+	s.trips++
+	b.transitions.With("quarantined").Inc()
+	b.stateGauge.With(b.names[w]).Set(breakerQuarantined)
+	return true
+}
+
+// Quarantined reports whether worker w has been quarantined.
+func (b *workerBreaker) Quarantined(w int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.states[w].quarantined
 }
 
 // Snapshot lists every worker's breaker state for /statusz.
@@ -175,6 +217,11 @@ func (b *workerBreaker) Snapshot() []WorkerBreakerStatus {
 	for w, name := range b.names {
 		s := b.states[w]
 		st := WorkerBreakerStatus{Worker: name, State: "closed", Consecutive: s.consecutive, Trips: s.trips}
+		if s.quarantined {
+			st.State = "quarantined"
+			out[w] = st
+			continue
+		}
 		if !s.openUntil.IsZero() {
 			if rem := s.openUntil.Sub(b.now()); rem > 0 {
 				st.State = "open"

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"bcnphase/internal/chaosnet"
 	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/runstate"
@@ -252,5 +253,130 @@ func TestClusterChaosSoak(t *testing.T) {
 	}
 	if !bytes.Equal(out2.CSV, want) {
 		t.Error("replayed map diverges from single-node run")
+	}
+}
+
+// TestClusterByzantineSoak is the result-integrity acceptance test: one
+// of three real workers sits behind a Byzantine chaos proxy that
+// rewrites ~5% of its result rows and re-signs them (so every digest
+// verifies), while the honest workers' proxies inject latency and
+// truncated bodies. With every shard audited, the merged map must stay
+// byte-identical to a clean single-node run, the Byzantine worker must
+// end quarantined, and the journal must hold no divergent rows. Run it
+// under -race.
+func TestClusterByzantineSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("byzantine soak: skipped with -short")
+	}
+	grid := cluster.GainGrid{BOverQ0: 5, GiLo: 0.05, GiHi: 12.8, GdLo: 0.0009765625, GdHi: 0.5, Steps: 17}
+	points := grid.Points()
+
+	// Clean single-node reference with the same evaluator.
+	sm := core.NewSolveMetrics(nil)
+	refRes, err := sweep.Run(context.Background(), points,
+		func(ctx context.Context, pt cluster.GainPoint) (cluster.Row, error) {
+			return grid.Eval(ctx, pt, sm)
+		}, sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	refRows := make([]cluster.Row, len(points))
+	for i, r := range refRes {
+		if r.Err != nil {
+			t.Fatalf("reference point %d: %v", i, r.Err)
+		}
+		refRows[i] = r.Value
+	}
+	want := cluster.RenderCSV(refRows)
+
+	workers := []*chaosWorker{newChaosWorker(t), newChaosWorker(t), newChaosWorker(t)}
+	newProxy := func(cfg chaosnet.Config) string {
+		p, err := chaosnet.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(p.Handler())
+		t.Cleanup(ts.Close)
+		return ts.URL
+	}
+	// Worker 0 lies about ~5% of rows on every response; workers 1 and 2
+	// are honest but their network is slow and occasionally truncates.
+	urls := []string{
+		newProxy(chaosnet.Config{Target: workers[0].ts.URL, Seed: 41, ByzantineProb: 1, RewriteFraction: 0.05}),
+		newProxy(chaosnet.Config{Target: workers[1].ts.URL, Seed: 42, Latency: time.Millisecond, Jitter: 2 * time.Millisecond, TruncateProb: 0.05}),
+		newProxy(chaosnet.Config{Target: workers[2].ts.URL, Seed: 43, Latency: time.Millisecond, TruncateProb: 0.05}),
+	}
+
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, runstate.JournalFileName)
+	j, err := runstate.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	c, err := cluster.New(cluster.Config{
+		Workers:           urls,
+		ShardSize:         16,
+		LeaseTimeout:      15 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMisses:   3,
+		RetryBase:         5 * time.Millisecond,
+		RetryCap:          50 * time.Millisecond,
+		MaxAttempts:       3,
+		BreakerThreshold:  3,
+		BreakerCooldown:   100 * time.Millisecond,
+		AuditFraction:     1,
+		Journal:           j,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	out, err := c.Run(ctx, grid)
+	if err != nil {
+		t.Fatalf("cluster sweep under Byzantine chaos: %v", err)
+	}
+
+	if !bytes.Equal(out.CSV, want) {
+		t.Errorf("merged map diverges from clean single-node run (%d vs %d bytes)", len(out.CSV), len(want))
+	}
+	if out.AuditedShards < 1 {
+		t.Errorf("AuditedShards = %d, want >= 1", out.AuditedShards)
+	}
+
+	m := c.Metrics()
+	if got := m.AuditQuarantined.Value(); got < 1 {
+		t.Errorf("cluster_audit_quarantined_workers_total = %d, want >= 1", got)
+	}
+	if got := m.AuditSampled.Value(); got < 1 {
+		t.Errorf("cluster_audit_sampled_shards_total = %d, want >= 1", got)
+	}
+	var byzSnap *cluster.WorkerBreakerStatus
+	for _, s := range c.BreakerSnapshot() {
+		if s.Worker == urls[0] {
+			s := s
+			byzSnap = &s
+		}
+	}
+	if byzSnap == nil || byzSnap.State != "quarantined" {
+		t.Errorf("Byzantine worker breaker = %+v, want quarantined", byzSnap)
+	}
+
+	// Zero divergent rows survive in the journal: a replay-only pass
+	// (no dispatch, no audit, just the journal) reproduces the clean map.
+	out2, err := c.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatalf("journal replay: %v", err)
+	}
+	if out2.Fresh != 0 || out2.Replayed != len(points) {
+		t.Errorf("replay = %+v, want all %d points from the journal", out2, len(points))
+	}
+	if !bytes.Equal(out2.CSV, want) {
+		t.Error("journal replay diverges from the clean reference: divergent rows reached the journal")
 	}
 }

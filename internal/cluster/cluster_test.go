@@ -124,6 +124,7 @@ func (f *fakeWorker) handleJob(w http.ResponseWriter, r *http.Request) {
 	f.indexes[env.Shard.Index]++
 	f.mu.Unlock()
 	res := ShardResult{Index: env.Shard.Index, Rows: fakeRows(env.Shard.Points)}
+	SignShardResult(&res)
 	raw, _ := json.Marshal(shardArtifact{Key: "k", Kind: "shard", Shard: &res})
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(raw)
@@ -711,6 +712,18 @@ func TestCoordinatorServerShedCoalesceAndDetachedSweep(t *testing.T) {
 		t.Errorf("malformed grid: %d, want 400", recBad.Code)
 	}
 
+	// Oversized body: 413 with the JSON error contract, not a 400 or a hang.
+	recBig := httptest.NewRecorder()
+	big := `{"steps": ` + strings.Repeat("9", MaxWireBytes) + `}`
+	h.ServeHTTP(recBig, httptest.NewRequest(http.MethodPost, "/v1/sweeps", strings.NewReader(big)))
+	if recBig.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized grid: %d, want 413", recBig.Code)
+	}
+	var bigBody clusterError
+	if err := json.Unmarshal(recBig.Body.Bytes(), &bigBody); err != nil || bigBody.Reason != "body-too-large" {
+		t.Errorf("oversized body = %s", recBig.Body.Bytes())
+	}
+
 	// Submit grid A; the worker holds it, so the sweep stays active.
 	ctx1, cancel1 := context.WithCancel(context.Background())
 	var rec1 *httptest.ResponseRecorder
@@ -769,6 +782,9 @@ func TestCoordinatorServerShedCoalesceAndDetachedSweep(t *testing.T) {
 	}
 	if fp := rec3.Header().Get("Bcn-Fingerprint"); len(fp) != 64 {
 		t.Errorf("Bcn-Fingerprint = %q", fp)
+	}
+	if got := rec3.Header().Get("Bcn-Audited-Shards"); got != "0" {
+		t.Errorf("Bcn-Audited-Shards = %q, want 0 (auditing off)", got)
 	}
 	if !bytes.Equal(rec3.Body.Bytes(), expectedCSV(gridA)) {
 		t.Error("served CSV diverges from single-node reference")

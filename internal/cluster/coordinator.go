@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -82,6 +83,17 @@ type Config struct {
 	// after its done marker is durable (instrumentation and chaos-test
 	// seam; called from dispatch goroutines).
 	OnShardDone func(worker string, shard Shard)
+	// AuditFraction is the fraction of freshly completed shards the
+	// coordinator re-executes on a different worker (consistent-hash
+	// next-replica placement) and compares bit-exactly before their rows
+	// are journaled: 0 disables auditing, 1 audits every shard. On
+	// divergence a third worker breaks the tie and the outvoted worker is
+	// quarantined — its leases discarded, its queued shards moved, its
+	// unaudited merged shards revoked and re-executed.
+	AuditFraction float64
+	// auditFor, when non-nil, replaces AuditFraction sampling with a
+	// per-shard-index decision (deterministic audit schedules in tests).
+	auditFor func(index int) bool
 }
 
 // Coordinator shards gain-plane sweeps across bcnd workers. Create
@@ -155,6 +167,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 10 * time.Second
+	}
+	if cfg.AuditFraction < 0 || cfg.AuditFraction > 1 || cfg.AuditFraction != cfg.AuditFraction {
+		return nil, fmt.Errorf("cluster: audit fraction %v outside [0, 1]", cfg.AuditFraction)
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
@@ -256,6 +271,9 @@ type Output struct {
 	// OrphanShards counts journal shards that were surfaced without a
 	// done marker and re-executed.
 	OrphanShards int
+	// AuditedShards counts shards of this sweep that were confirmed by a
+	// second worker before merging.
+	AuditedShards int
 }
 
 // sweepState is the shared dispatch state of one Run: per-worker shard
@@ -273,12 +291,22 @@ type sweepState struct {
 	rows  []Row
 	have  []bool
 	fresh int
+
+	// unaudited[w] holds shards merged from worker w without a second
+	// worker's confirmation; quarantining w revokes and re-executes them.
+	unaudited map[int][]*shardRun
+	// audited counts shards confirmed by a second worker.
+	audited int
 }
 
 type shardRun struct {
 	shard       Shard
 	assignments int
 	planned     int // ring-planned owner
+	// revoked marks a shard whose merged rows were withdrawn after its
+	// worker was quarantined: the next merge force-records its rows so
+	// the journal supersedes the distrusted values.
+	revoked bool
 }
 
 func (s *sweepState) finished() bool { return s.pending == 0 || s.fatal != nil }
@@ -295,11 +323,12 @@ func (c *Coordinator) Run(ctx context.Context, grid GainGrid) (*Output, error) {
 	}
 	out := &Output{Fingerprint: fp, Points: len(points)}
 	st := &sweepState{
-		grid:   grid,
-		fp:     fp,
-		queues: make([][]*shardRun, len(c.cfg.Workers)),
-		rows:   make([]Row, len(points)),
-		have:   make([]bool, len(points)),
+		grid:      grid,
+		fp:        fp,
+		queues:    make([][]*shardRun, len(c.cfg.Workers)),
+		rows:      make([]Row, len(points)),
+		have:      make([]bool, len(points)),
+		unaudited: make(map[int][]*shardRun),
 	}
 	st.cond = sync.NewCond(&st.mu)
 
@@ -335,6 +364,7 @@ func (c *Coordinator) Run(ctx context.Context, grid GainGrid) (*Output, error) {
 
 	st.mu.Lock()
 	out.Fresh = st.fresh
+	out.AuditedShards = st.audited
 	rows := st.rows
 	st.mu.Unlock()
 	for i := range st.have {
@@ -377,8 +407,11 @@ func (c *Coordinator) scanJournal(fp string, shards []Shard, st *sweepState) (pe
 				}
 				var row Row
 				if err := json.Unmarshal(raw, &row); err != nil || row.CSV == "" {
-					// Undecodable rows re-evaluate rather than poisoning
-					// the merge — same contract as sweep.RunCheckpointed.
+					// CRC-valid but failing row re-validation: schema drift
+					// across versions. Classified, counted and re-evaluated
+					// rather than resurrected — same contract as
+					// sweep.RunCheckpointed, now with a series saying so.
+					c.m.InvalidRows.Inc()
 					missing.Points = append(missing.Points, sh.Points[k])
 					missing.GridIdx = append(missing.GridIdx, sh.GridIdx[k])
 					missing.Keys = append(missing.Keys, key)
@@ -462,6 +495,9 @@ func (c *Coordinator) dispatchAll(ctx context.Context, st *sweepState) error {
 			case <-ctx.Done():
 				st.cond.Broadcast()
 				return
+			case <-c.stop:
+				st.cond.Broadcast()
+				return
 			case <-stopTick:
 				return
 			}
@@ -486,9 +522,26 @@ func (c *Coordinator) dispatchAll(ctx context.Context, st *sweepState) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("%w: cluster sweep cancelled with %d shards pending", runstate.ErrInterrupted, st.pending)
 		}
+		if c.isClosed() {
+			return fmt.Errorf("%w: coordinator closed with %d shards pending", runstate.ErrInterrupted, st.pending)
+		}
 		return fmt.Errorf("cluster: internal: dispatch stopped with %d shards pending", st.pending)
 	}
 	return nil
+}
+
+// errCoordinatorClosed aborts dispatch waits when Close is called, so
+// shutdown latency is bounded by the in-flight HTTP calls, never by a
+// pending jittered backoff window.
+var errCoordinatorClosed = fmt.Errorf("cluster: coordinator closed")
+
+func (c *Coordinator) isClosed() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // eligible reports whether worker w may receive new shards right now.
@@ -543,7 +596,7 @@ func (c *Coordinator) workerLoop(ctx context.Context, st *sweepState, w int) {
 			stolen bool
 		)
 		for {
-			if st.finished() || ctx.Err() != nil {
+			if st.finished() || ctx.Err() != nil || c.isClosed() {
 				st.mu.Unlock()
 				st.cond.Broadcast()
 				return
@@ -563,7 +616,16 @@ func (c *Coordinator) workerLoop(ctx context.Context, st *sweepState, w int) {
 		res, err := c.dispatch(ctx, st, w, sr)
 		switch {
 		case err == nil:
-			if mergeErr := c.merge(st, w, sr, res); mergeErr != nil {
+			// The dispatch itself succeeded regardless of what the audit
+			// concludes about the rows; the breaker tracks availability,
+			// the quorum tracks honesty (Success on a quarantined worker
+			// is a no-op).
+			c.breaker.Success(w)
+			v := c.audit(ctx, st, w, sr, res)
+			if !v.merge {
+				continue
+			}
+			if mergeErr := c.merge(st, v.winner, sr, v.res, v.audited); mergeErr != nil {
 				// A journal that cannot keep rows breaks the durability
 				// contract; fail the sweep rather than fake completion.
 				st.mu.Lock()
@@ -575,8 +637,7 @@ func (c *Coordinator) workerLoop(ctx context.Context, st *sweepState, w int) {
 				return
 			}
 			c.m.ShardSeconds.Observe(time.Since(began).Seconds())
-			c.breaker.Success(w)
-		case ctx.Err() != nil:
+		case errors.Is(err, errCoordinatorClosed), ctx.Err() != nil:
 			// Sweep cancelled: hand the shard back without blaming the
 			// worker and let the loop exit on the next pass.
 			c.breaker.Release(w)
@@ -624,14 +685,20 @@ func (c *Coordinator) requeue(st *sweepState, sr *shardRun, failed int) {
 }
 
 // merge records a completed shard: every fresh row durably journaled
-// (skipping keys already present, so records are never duplicated),
-// then the shard's done marker, then the in-memory merge and progress
-// accounting.
-func (c *Coordinator) merge(st *sweepState, w int, sr *shardRun, res ShardResult) error {
+// (skipping keys already holding a valid row, so records are never
+// duplicated), then the shard's done marker, then the in-memory merge
+// and progress accounting. A revoked shard force-records instead of
+// skipping, superseding rows a quarantined worker left behind; a key
+// whose existing value fails row re-validation is likewise overwritten,
+// healing schema drift on re-execution. Shards merged without an audit
+// are remembered per worker so a later quarantine can revoke them.
+func (c *Coordinator) merge(st *sweepState, w int, sr *shardRun, res ShardResult, audited bool) error {
 	if j := c.cfg.Journal; j != nil {
 		for i, key := range sr.shard.Keys {
-			if _, ok := j.Lookup(key); ok {
-				continue
+			if !sr.revoked {
+				if raw, ok := j.Lookup(key); ok && validRowBytes(raw) {
+					continue
+				}
 			}
 			raw, err := json.Marshal(res.Rows[i])
 			if err != nil {
@@ -646,6 +713,7 @@ func (c *Coordinator) merge(st *sweepState, w int, sr *shardRun, res ShardResult
 		}
 	}
 	st.mu.Lock()
+	sr.revoked = false
 	for i, idx := range sr.shard.GridIdx {
 		if !st.have[idx] {
 			st.have[idx] = true
@@ -653,6 +721,39 @@ func (c *Coordinator) merge(st *sweepState, w int, sr *shardRun, res ShardResult
 			st.fresh++
 			c.m.Points.Inc()
 		}
+	}
+	switch {
+	case audited:
+		st.audited++
+	case c.breaker.Quarantined(w):
+		// w was quarantined while this unaudited merge was in flight, so
+		// the quarantine's revocation sweep may have run before this shard
+		// appeared in st.unaudited. Revoke it here, under the same lock the
+		// sweep scans with, so no unaudited shard of a quarantined worker
+		// ever survives merged.
+		for _, idx := range sr.shard.GridIdx {
+			if st.have[idx] {
+				st.have[idx] = false
+				st.fresh--
+			}
+		}
+		sr.revoked = true
+		c.m.AuditRevoked.Inc()
+		target := c.ring.owner(DoneKey(st.fp, sr.shard.Index), func(o int) bool {
+			return o != w && c.eligible(o)
+		})
+		if target < 0 {
+			target = w
+		} else {
+			c.m.Reassigned.Inc()
+		}
+		st.queues[target] = append(st.queues[target], sr)
+		st.mu.Unlock()
+		st.cond.Broadcast()
+		c.logf("audit: shard %d merged from quarantined %s; revoked and re-executing", sr.shard.Index, c.cfg.Workers[w])
+		return nil
+	default:
+		st.unaudited[w] = append(st.unaudited[w], sr)
 	}
 	st.pending--
 	st.mu.Unlock()
@@ -663,6 +764,14 @@ func (c *Coordinator) merge(st *sweepState, w int, sr *shardRun, res ShardResult
 	}
 	st.cond.Broadcast()
 	return nil
+}
+
+// validRowBytes reports whether a journaled point value still decodes as
+// a usable row. merge overwrites (supersedes) anything that does not,
+// instead of skipping it as "already present".
+func validRowBytes(raw []byte) bool {
+	var row Row
+	return json.Unmarshal(raw, &row) == nil && row.CSV != ""
 }
 
 func (c *Coordinator) recordDone(fp string, sh Shard) error {
@@ -718,6 +827,10 @@ func (c *Coordinator) dispatch(ctx context.Context, st *sweepState, w int, sr *s
 		case <-time.After(bo.next(retryAfter)):
 		case <-ctx.Done():
 			return ShardResult{}, ctx.Err()
+		case <-c.stop:
+			// Coordinator shutdown aborts the jittered wait immediately;
+			// drain latency is bounded by in-flight HTTP calls only.
+			return ShardResult{}, errCoordinatorClosed
 		}
 	}
 	return ShardResult{}, fmt.Errorf("cluster: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
@@ -770,6 +883,14 @@ func (c *Coordinator) postShard(ctx context.Context, w int, sh *ShardSpec, body 
 	if err != nil {
 		// A malformed result is a verdict about the worker, not load.
 		return ShardResult{}, -1, err
+	}
+	if err := VerifyShardResult(res); err != nil {
+		// Rows not matching their signed checksums means the result was
+		// corrupted somewhere between evaluation and here — transient,
+		// unlike a malformed envelope: the same worker can answer
+		// correctly on a retry.
+		c.m.DigestFailures.Inc()
+		return ShardResult{}, 0, err
 	}
 	return res, 0, nil
 }

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"bcnphase/internal/runstate"
+)
+
+// ErrDigest wraps every shard-result integrity failure: absent or
+// mismatched row checksums, or a shard digest that does not cover the
+// rows it arrived with. The coordinator treats it as transient (the same
+// worker can answer correctly on a retry after in-flight corruption),
+// unlike ErrWire, which is a terminal verdict about the message shape.
+var ErrDigest = errors.New("cluster: shard result failed integrity check")
+
+// RowSum is the per-row content checksum: runstate.HashJSON of the row,
+// computed by the worker that evaluated it. The coordinator recomputes
+// it on receipt, so a row corrupted in flight (truncated or bit-flipped
+// anywhere between evaluation and merge) is caught before it can reach
+// the journal.
+func RowSum(r Row) string {
+	sum, err := runstate.HashJSON(r)
+	if err != nil {
+		// Row is a flat struct of strings and integers; its JSON encoding
+		// cannot fail. Make the impossible loud instead of threading an
+		// error that no caller could act on.
+		panic(fmt.Sprintf("cluster: hash row: %v", err))
+	}
+	return sum
+}
+
+// ShardDigest chains a shard's index and its per-row checksums into the
+// shard-level digest, via the same length-prefixed runstate hashing the
+// journal keys use.
+func ShardDigest(index int, rowSums []string) string {
+	parts := make([]string, 0, len(rowSums)+1)
+	parts = append(parts, "shard:"+strconv.Itoa(index))
+	parts = append(parts, rowSums...)
+	return runstate.HashChain(parts...)
+}
+
+// SignShardResult fills res.RowSums and res.Digest from its rows. The
+// worker signs every shard result it evaluates; anything that rewrites
+// rows afterwards must re-sign or fail verification at the coordinator.
+func SignShardResult(res *ShardResult) {
+	res.RowSums = make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		res.RowSums[i] = RowSum(r)
+	}
+	res.Digest = ShardDigest(res.Index, res.RowSums)
+}
+
+// VerifyShardResult checks a shard result's integrity envelope: a digest
+// present, one checksum per row, every row matching its checksum and the
+// digest matching the chained checksums. Every failure wraps ErrDigest.
+// It never panics on arbitrary input (fuzzed in fuzz_test.go). Note what
+// this does and does not prove: it catches transport corruption, but a
+// worker that lies about its rows signs the lie consistently — only
+// re-execution on an independent worker (the audit path) catches that.
+func VerifyShardResult(res ShardResult) error {
+	if res.Digest == "" {
+		return fmt.Errorf("%w: shard %d carries no digest", ErrDigest, res.Index)
+	}
+	if len(res.RowSums) != len(res.Rows) {
+		return fmt.Errorf("%w: shard %d has %d row checksums for %d rows", ErrDigest, res.Index, len(res.RowSums), len(res.Rows))
+	}
+	for i, r := range res.Rows {
+		if RowSum(r) != res.RowSums[i] {
+			return fmt.Errorf("%w: shard %d row %d does not match its checksum", ErrDigest, res.Index, i)
+		}
+	}
+	if ShardDigest(res.Index, res.RowSums) != res.Digest {
+		return fmt.Errorf("%w: shard %d digest does not cover its row checksums", ErrDigest, res.Index)
+	}
+	return nil
+}
+
+// rowsEqual reports whether two row slices are bit-exact: same length,
+// every field identical. The audit comparison is exactly this — "close"
+// is not a concept the merged map has.
+func rowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffRows counts positions where two equal-length row slices disagree
+// (length mismatch counts every row of the longer slice).
+func diffRows(a, b []Row) int {
+	if len(a) != len(b) {
+		if len(a) > len(b) {
+			return len(a)
+		}
+		return len(b)
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

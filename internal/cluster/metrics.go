@@ -41,6 +41,31 @@ type Metrics struct {
 	// (0 closed, 1 half-open, 2 open).
 	BreakerTransitions *telemetry.CounterVec
 	BreakerState       *telemetry.GaugeVec
+	// AuditSampled counts freshly completed shards re-executed on a
+	// second worker for a bit-exact comparison; AuditMatched counts the
+	// ones that agreed, AuditDivergent the ones that did not (with
+	// AuditDivergentRows the row-level disagreement count), and
+	// AuditInconclusive the divergences no third worker could settle.
+	// AuditSkipped counts sampled shards with no second worker available.
+	AuditSampled       *telemetry.Counter
+	AuditMatched       *telemetry.Counter
+	AuditDivergent     *telemetry.Counter
+	AuditDivergentRows *telemetry.Counter
+	AuditInconclusive  *telemetry.Counter
+	AuditSkipped       *telemetry.Counter
+	// AuditQuarantined counts workers quarantined after losing a tiebreak
+	// quorum; AuditRevoked counts their unaudited merged shards that were
+	// revoked and re-executed.
+	AuditQuarantined *telemetry.Counter
+	AuditRevoked     *telemetry.Counter
+	// DigestFailures counts shard results rejected on receipt because
+	// their rows did not match their signed checksums (in-flight
+	// corruption; retried as transient).
+	DigestFailures *telemetry.Counter
+	// InvalidRows counts journal-replay point records whose CRC was valid
+	// but whose payload failed row re-validation (schema drift); they are
+	// re-executed and superseded, never resurrected.
+	InvalidRows *telemetry.Counter
 	// WorkerUp is 1 while a worker's heartbeats are healthy.
 	WorkerUp *telemetry.GaugeVec
 	// PointsPerSecond is the fresh-point merge rate of the last sweep.
@@ -54,21 +79,31 @@ type Metrics struct {
 // registry yields no-op instruments).
 func NewMetrics(reg *telemetry.Registry) *Metrics {
 	return &Metrics{
-		Points:          reg.Counter("cluster_points_total", "fresh grid points merged into the map"),
-		ReplayedPoints:  reg.Counter("cluster_replayed_points_total", "points answered from the coordinator journal"),
-		ShardsDone:      reg.Counter("cluster_shards_done_total", "shards completed and journaled with a done marker"),
-		Reassigned:      reg.Counter("cluster_reassigned_shards_total", "shards re-assigned after lease expiry, dispatch failure or worker loss"),
-		Stolen:          reg.Counter("cluster_stolen_shards_total", "shards stolen from another worker's queue"),
-		OrphanShards:    reg.Counter("cluster_journal_orphan_shards_total", "journal shards missing their done marker, surfaced and re-executed"),
-		StrayRecords:    reg.Counter("cluster_journal_stray_records_total", "journal records outside the grid's key space (stale fingerprints)"),
-		Retries:         reg.Counter("cluster_dispatch_retries_total", "shard dispatch attempts beyond the first"),
-		WorkerErrors:    reg.CounterVec("cluster_worker_errors_total", "failed shard dispatch attempts by worker", "worker"),
-		Sweeps:          reg.Counter("cluster_sweeps_total", "grid submissions accepted by the coordinator"),
-		SweepsShed:      reg.Counter("cluster_sweeps_shed_total", "grid submissions shed by coordinator admission control"),
+		Points:         reg.Counter("cluster_points_total", "fresh grid points merged into the map"),
+		ReplayedPoints: reg.Counter("cluster_replayed_points_total", "points answered from the coordinator journal"),
+		ShardsDone:     reg.Counter("cluster_shards_done_total", "shards completed and journaled with a done marker"),
+		Reassigned:     reg.Counter("cluster_reassigned_shards_total", "shards re-assigned after lease expiry, dispatch failure or worker loss"),
+		Stolen:         reg.Counter("cluster_stolen_shards_total", "shards stolen from another worker's queue"),
+		OrphanShards:   reg.Counter("cluster_journal_orphan_shards_total", "journal shards missing their done marker, surfaced and re-executed"),
+		StrayRecords:   reg.Counter("cluster_journal_stray_records_total", "journal records outside the grid's key space (stale fingerprints)"),
+		Retries:        reg.Counter("cluster_dispatch_retries_total", "shard dispatch attempts beyond the first"),
+		WorkerErrors:   reg.CounterVec("cluster_worker_errors_total", "failed shard dispatch attempts by worker", "worker"),
+		Sweeps:         reg.Counter("cluster_sweeps_total", "grid submissions accepted by the coordinator"),
+		SweepsShed:     reg.Counter("cluster_sweeps_shed_total", "grid submissions shed by coordinator admission control"),
 		BreakerTransitions: reg.CounterVec("cluster_worker_breaker_transitions_total",
 			"per-worker circuit-breaker state transitions by destination state", "state"),
+		AuditSampled:       reg.Counter("cluster_audit_sampled_shards_total", "completed shards re-executed on a second worker for audit"),
+		AuditMatched:       reg.Counter("cluster_audit_matched_shards_total", "audited shards whose re-execution matched bit-exactly"),
+		AuditDivergent:     reg.Counter("cluster_audit_divergent_shards_total", "audited shards whose re-execution diverged"),
+		AuditDivergentRows: reg.Counter("cluster_audit_divergent_rows_total", "row-level disagreements found by shard audits"),
+		AuditInconclusive:  reg.Counter("cluster_audit_inconclusive_shards_total", "divergent shards no tiebreak worker could settle (re-executed from scratch)"),
+		AuditSkipped:       reg.Counter("cluster_audit_skipped_shards_total", "sampled shards with no second worker available to audit"),
+		AuditQuarantined:   reg.Counter("cluster_audit_quarantined_workers_total", "workers quarantined after losing an audit tiebreak quorum"),
+		AuditRevoked:       reg.Counter("cluster_audit_revoked_shards_total", "unaudited shards revoked and re-executed after their worker was quarantined"),
+		DigestFailures:     reg.Counter("cluster_digest_failures_total", "shard results rejected on receipt for checksum or digest mismatch"),
+		InvalidRows:        reg.Counter("cluster_journal_invalid_rows_total", "CRC-valid journal rows that failed re-validation on replay (schema drift)"),
 		BreakerState: reg.GaugeVec("cluster_worker_breaker_state",
-			"per-worker breaker state: 0 closed, 1 half-open, 2 open", "worker"),
+			"per-worker breaker state: 0 closed, 1 half-open, 2 open, 3 quarantined", "worker"),
 		WorkerUp:        reg.GaugeVec("cluster_worker_up", "1 while the worker's heartbeats are healthy", "worker"),
 		PointsPerSecond: reg.Gauge("cluster_points_per_second", "fresh points merged per wall-clock second (last sweep)"),
 		ShardSeconds: reg.Histogram("cluster_shard_seconds",

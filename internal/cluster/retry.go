@@ -90,3 +90,9 @@ func (l *lockedRand) Int63n(n int64) int64 {
 	defer l.mu.Unlock()
 	return l.rng.Int63n(n)
 }
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -120,8 +121,15 @@ func (s *Server) reject(w http.ResponseWriter, status int, retryAfter time.Durat
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	c := s.cfg.Coordinator
-	grid, err := DecodeSweepRequest(r.Body, MaxWireBytes)
+	grid, err := DecodeSweepRequest(http.MaxBytesReader(w, r.Body, MaxWireBytes), MaxWireBytes)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reject(w, http.StatusRequestEntityTooLarge, 0, clusterError{
+				Error:  fmt.Sprintf("request body exceeds %d bytes", int64(MaxWireBytes)),
+				Reason: "body-too-large"})
+			return
+		}
 		s.reject(w, http.StatusBadRequest, 0, clusterError{Error: err.Error(), Reason: "malformed-grid"})
 		return
 	}
@@ -153,7 +161,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		c.m.SweepsShed.Inc()
 		s.reject(w, http.StatusTooManyRequests, 2*time.Second, clusterError{
-			Error: fmt.Sprintf("coordinator at its limit of %d concurrent sweeps", s.cfg.MaxSweeps),
+			Error:  fmt.Sprintf("coordinator at its limit of %d concurrent sweeps", s.cfg.MaxSweeps),
 			Reason: "shed"})
 		return
 	}
@@ -211,6 +219,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, fp string, call
 	h.Set("Bcn-Fresh", strconv.Itoa(out.Fresh))
 	h.Set("Bcn-Replayed", strconv.Itoa(out.Replayed))
 	h.Set("Bcn-Orphan-Shards", strconv.Itoa(out.OrphanShards))
+	h.Set("Bcn-Audited-Shards", strconv.Itoa(out.AuditedShards))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out.CSV)
 }

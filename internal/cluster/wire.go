@@ -60,10 +60,17 @@ func (s *ShardSpec) Validate() error {
 }
 
 // ShardResult is the worker → coordinator result envelope: one Row per
-// assigned point, in assignment order.
+// assigned point, in assignment order, plus the integrity envelope the
+// worker signs over them (digest.go). The integrity fields live only on
+// the wire — journal point records stay plain Rows, so coordinator
+// journals remain interchangeable with cmd/bcnsweep -resume journals.
 type ShardResult struct {
 	Index int   `json:"index"`
 	Rows  []Row `json:"rows"`
+	// RowSums[i] is RowSum(Rows[i]), computed by the evaluating worker.
+	RowSums []string `json:"row_sums,omitempty"`
+	// Digest is ShardDigest(Index, RowSums).
+	Digest string `json:"digest,omitempty"`
 }
 
 // Shard is one planned unit of distribution: a grid-order chunk of
@@ -137,11 +144,15 @@ func DecodeSweepRequest(r io.Reader, maxBytes int64) (GainGrid, error) {
 	if maxBytes <= 0 {
 		maxBytes = MaxWireBytes
 	}
-	dec := json.NewDecoder(io.LimitReader(r, maxBytes))
+	// Limit to maxBytes+1 and double-wrap the decode failure so a typed
+	// *http.MaxBytesError from a MaxBytesReader-wrapped body survives to
+	// the handler (which maps it to 413); truncating exactly at the budget
+	// would turn it into a generic unexpected-EOF 400.
+	dec := json.NewDecoder(io.LimitReader(r, maxBytes+1))
 	dec.DisallowUnknownFields()
 	var g GainGrid
 	if err := dec.Decode(&g); err != nil {
-		return GainGrid{}, fmt.Errorf("%w: %v", ErrWire, err)
+		return GainGrid{}, fmt.Errorf("%w: %w", ErrWire, err)
 	}
 	if dec.More() {
 		return GainGrid{}, fmt.Errorf("%w: trailing data after sweep request", ErrWire)

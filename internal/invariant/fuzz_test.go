@@ -47,8 +47,16 @@ func FuzzCheckerConfig(f *testing.F) {
 			if (rerr != nil) != (c.Policy() == Strict) {
 				t.Fatalf("policy %v returned err=%v", c.Policy(), rerr)
 			}
-			if c.Policy() == Clamp && !math.IsNaN(v) && (got < lo || got > hi) {
-				t.Fatalf("clamp left value %v outside [%v, %v]", got, lo, hi)
+			// An inverted interval (lo > hi) is empty: no clamp result can
+			// land inside it, so the containment oracle only applies to
+			// well-formed bounds. Clamp still must answer one of the bounds.
+			if c.Policy() == Clamp && !math.IsNaN(v) {
+				if lo <= hi && (got < lo || got > hi) {
+					t.Fatalf("clamp left value %v outside [%v, %v]", got, lo, hi)
+				}
+				if got != lo && got != hi {
+					t.Fatalf("clamp answered %v, neither bound of [%v, %v]", got, lo, hi)
+				}
 			}
 		}
 

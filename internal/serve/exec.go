@@ -265,6 +265,10 @@ func runShard(ctx context.Context, s *cluster.ShardSpec, jm jobMetrics) (*cluste
 		}
 		res.Rows[i] = r.Value
 	}
+	// Sign the result where it was computed: the per-row checksums and
+	// shard digest let the coordinator reject anything corrupted between
+	// this goroutine and its merge.
+	cluster.SignShardResult(res)
 	return res, nil
 }
 

@@ -361,6 +361,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sp, err := DecodeSpec(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBodyBytes)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error:  fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+				Reason: "body-too-large",
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Reason: "malformed-spec"})
 		return
 	}

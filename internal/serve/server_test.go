@@ -166,7 +166,6 @@ func TestSubmitMalformedNeverPanics(t *testing.T) {
 		"empty":     "",
 		"garbage":   "{{{",
 		"unknown":   `{"kind":"solve","zzz":1}`,
-		"huge":      `{"kind":"solve","solve":{"params":{"N":` + strings.Repeat("9", 1<<20) + `}}}`,
 		"bad kind":  `{"kind":"zebra"}`,
 		"nan sneak": `{"kind":"sweep","sweep":{"b_over_q0":5,"gi_lo":1e999,"gi_hi":1,"gd_lo":0.001,"gd_hi":0.1,"steps":3}}`,
 	} {
@@ -180,6 +179,23 @@ func TestSubmitMalformedNeverPanics(t *testing.T) {
 		} else if eb.Reason != "malformed-spec" {
 			t.Errorf("%s: reason %q", name, eb.Reason)
 		}
+	}
+}
+
+func TestSubmitOversizedBodyIs413(t *testing.T) {
+	checkGoroutines(t)
+	_, ts := newTestServer(t, Config{})
+	huge := `{"kind":"solve","solve":{"params":{"N":` + strings.Repeat("9", 1<<20) + `}}}`
+	resp := postSpec(t, ts.URL, []byte(huge))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(readBody(t, resp), &eb); err != nil {
+		t.Fatalf("error body not JSON: %v", err)
+	}
+	if eb.Reason != "body-too-large" {
+		t.Errorf("reason %q, want body-too-large", eb.Reason)
 	}
 }
 

@@ -165,11 +165,18 @@ func DecodeSpec(r io.Reader, maxBytes int64) (Spec, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBodyBytes
 	}
-	dec := json.NewDecoder(io.LimitReader(r, maxBytes))
+	// Limit to maxBytes+1, not maxBytes: when r is a MaxBytesReader with
+	// the same budget, the read of the overflowing byte is what produces
+	// the typed *http.MaxBytesError — truncating exactly at the budget
+	// would swallow it into a generic unexpected-EOF decode failure.
+	dec := json.NewDecoder(io.LimitReader(r, maxBytes+1))
 	dec.DisallowUnknownFields()
 	var sp Spec
 	if err := dec.Decode(&sp); err != nil {
-		return Spec{}, fmt.Errorf("%w: %v", ErrSpec, err)
+		// Double-wrap so a typed decode failure (*http.MaxBytesError from
+		// a MaxBytesReader-wrapped body) stays reachable via errors.As —
+		// the handler maps it to 413, not a generic 400.
+		return Spec{}, fmt.Errorf("%w: %w", ErrSpec, err)
 	}
 	if dec.More() {
 		return Spec{}, fmt.Errorf("%w: trailing data after job spec", ErrSpec)
@@ -380,7 +387,10 @@ type specIdentity struct {
 }
 
 // artifactFormat versions every artifact layout served by this package.
-const artifactFormat = 1
+// Format 2: shard results carry the row_sums/digest integrity envelope
+// (cluster.SignShardResult), so pre-digest journal artifacts re-execute
+// instead of replaying unsigned.
+const artifactFormat = 2
 
 // Key returns the spec's content-hash dedup key: the hex SHA-256 of the
 // canonical identity. Execution knobs (timeout_ms) are excluded, so the

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Byzantine chaos soak for the cluster, under the race detector:
+#
+#   1. TestClusterByzantineSoak — three real serving stacks, each
+#      behind a deterministic chaosnet proxy. One worker is Byzantine
+#      (rewrites ~5% of its result rows and re-signs them so every
+#      digest verifies); the honest two suffer injected latency and
+#      truncated responses. With full audit sampling the merged map
+#      must be byte-identical to a clean single-node run, the liar
+#      must end quarantined, and a replay-only second run proves no
+#      divergent row ever reached the journal.
+#
+#   2. The chaosnet per-mode suite — every injection mode (latency,
+#      stall, reset, truncate, bit-flip, partition-heal, byzantine)
+#      driven through a live coordinator against honest upstreams,
+#      asserting the cluster converges to the clean answer under each.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== stage 1: Byzantine worker soak (race detector) =="
+go test -race -count=1 -run 'TestClusterByzantineSoak' -v ./internal/cluster | grep -v '^=== RUN'
+
+echo "== stage 2: per-mode chaos proxy suite (race detector) =="
+go test -race -count=1 -run 'TestClusterSurvivesEveryChaosMode' -v ./internal/chaosnet | grep -v '^=== RUN'
+
+echo "chaos-soak: ok"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Short coverage-guided fuzz pass over every Fuzz target in the repo.
+#
+# `go test -fuzz` accepts exactly one target per invocation, so this
+# script discovers targets per package with `go test -list` and runs
+# each one for a short burst (FUZZTIME, default 10s). The point is not
+# deep exploration — the long-haul corpora live with the targets — but
+# a cheap CI gate that the fuzz harnesses still build, still execute,
+# and that no quick-to-find regression slipped into the decode, digest
+# or chaos-rewrite paths.
+#
+#   FUZZTIME=30s ./scripts/fuzz_short.sh      # longer burst
+#   ./scripts/fuzz_short.sh internal/cluster  # one package only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-10s}"
+
+if [ "$#" -gt 0 ]; then
+    pkgs=("${@/#/./}")
+else
+    # Only packages that actually define Fuzz targets.
+    mapfile -t pkgs < <(grep -rl '^func Fuzz' --include='*_test.go' internal cmd 2>/dev/null \
+        | xargs -n1 dirname | sort -u | sed 's|^|./|')
+fi
+
+total=0
+for pkg in "${pkgs[@]}"; do
+    mapfile -t targets < <(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+    for target in "${targets[@]}"; do
+        echo "== fuzz $pkg $target ($FUZZTIME) =="
+        go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+        total=$((total + 1))
+    done
+done
+
+echo "fuzz-short: $total targets fuzzed for $FUZZTIME each"
