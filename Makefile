@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds fuzz-short metamorphic check bench smoke-resume soak soak-cluster soak-chaos clean
+.PHONY: all build test vet race fuzz-seeds fuzz-short metamorphic check bench smoke-resume soak soak-cluster soak-chaos soak-overload clean
 
 all: check
 
@@ -69,6 +69,13 @@ soak-cluster:
 # map byte-identical to a clean run, under the race detector.
 soak-chaos:
 	./scripts/chaos_soak.sh
+
+# Overload soak for the closed-loop QoS tier: the in-process gating
+# soak (4x offered load, one greedy tenant) under the race detector,
+# then a real-binary run against bcnd -qos gating on zero accepted-job
+# losses, per-tenant fairness within 1.5x, and monotonic qos_* series.
+soak-overload:
+	./scripts/overload_soak.sh
 
 clean:
 	rm -rf out

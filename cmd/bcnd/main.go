@@ -35,7 +35,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +46,7 @@ import (
 	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/invariant"
+	"bcnphase/internal/qos"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/serve"
 	"bcnphase/internal/telemetry"
@@ -106,13 +106,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		clientURL    = fs.String("url", "http://127.0.0.1:8077", "server base URL for -post/-get client modes")
 		postFile     = fs.String("post", "", "client mode: submit the spec in this file (- for stdin) and print the artifact")
 		getKey       = fs.String("get", "", "client mode: fetch the artifact for this job key and print it")
-		postRetries  = fs.Int("post-retries", 4, "client mode: extra attempts when the server sheds with 429/503 (Retry-After honored)")
+		postRetries  = fs.Int("post-retries", 4, "client mode: extra attempts when the server sheds with 429/503 (Retry-After honored, jittered)")
+		tenant       = fs.String("tenant", "", "client mode: tenant key sent as Bcn-Tenant (empty = anonymous)")
+		qosClass     = fs.String("qos-class", "", "client mode: QoS class sent as Bcn-QoS-Class (interactive, standard, batch)")
+		deadline     = fs.Duration("deadline", 0, "client mode: end-to-end deadline budget sent as Bcn-Deadline-Ms (0 = none)")
 		coordinator  = fs.Bool("coordinator", false, "run as a cluster sweep coordinator over the -workers URLs instead of a job server")
 		shardSize    = fs.Int("shard-size", 0, "coordinator mode: grid points per shard (0 = default)")
 		leaseTimeout = fs.Duration("lease-timeout", 30*time.Second, "coordinator mode: per-dispatch shard lease; an unanswered shard is re-assigned after this")
 		hbInterval   = fs.Duration("heartbeat-interval", time.Second, "coordinator mode: worker /statusz probe interval")
 		maxSweeps    = fs.Int("max-sweeps", 2, "coordinator mode: concurrent sweeps before submissions are shed")
 		auditFrac    = fs.Float64("audit-fraction", 0, "coordinator mode: fraction of completed shards re-executed on a second worker and compared bit-exactly (0 disables auditing, 1 audits everything)")
+
+		// Closed-loop QoS (server mode; see internal/qos).
+		qosOn      = fs.Bool("qos", false, "server mode: enable the closed-loop QoS layer — adaptive admission, brownout ladder, per-tenant fairness, deadline propagation, artifact cache")
+		qosAlpha   = fs.Float64("qos-alpha", 0, "QoS: rate-mismatch feedback gain alpha (0 = default; stability needs alpha^2 < 4*beta)")
+		qosBeta    = fs.Float64("qos-beta", 0, "QoS: queue-excursion feedback gain beta (0 = default)")
+		qosTick    = fs.Duration("qos-interval", 0, "QoS: control-loop tick interval (0 = default)")
+		qosTarget  = fs.Float64("qos-queue-target", 0, "QoS: queue-depth operating point q0 (0 = half the queue capacity)")
+		qosHeap    = fs.Int64("qos-max-heap", 0, "QoS: live-heap bytes forcing cached-only brownout, 1.5x forces drain (0 disables)")
+		qosGoros   = fs.Int("qos-max-goroutines", 0, "QoS: goroutine count forcing cached-only brownout (0 = default 20000, negative disables)")
+		tenWeights = fs.String("tenant-weights", "", "QoS: per-tenant scheduling weights as name=weight pairs, comma-separated")
+		tenBurst   = fs.Float64("tenant-burst", 0, "QoS: per-tenant bucket burst in seconds of fair-share rate (0 = default)")
+		cacheBytes = fs.Int64("cache-bytes", 0, "QoS: artifact front-cache budget in bytes (0 = default 64 MiB, negative disables)")
+		cacheTTL   = fs.Duration("cache-ttl", 0, "QoS: artifact front-cache entry TTL (0 = default 10m, negative = no expiry)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,7 +137,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case *postFile != "" && *getKey != "":
 		return fmt.Errorf("-post and -get are mutually exclusive")
 	case *postFile != "":
-		return clientPost(ctx, *clientURL, *postFile, *postRetries, out)
+		return clientPost(ctx, *clientURL, *postFile, *postRetries,
+			clientQoS{tenant: *tenant, class: *qosClass, deadline: *deadline}, out)
 	case *getKey != "":
 		return clientGet(ctx, *clientURL, *getKey, out)
 	}
@@ -162,6 +179,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Registry:         telemetry.NewRegistry(),
 		Log:              os.Stderr,
 	}
+	if *qosOn {
+		weights, err := parseTenantWeights(*tenWeights)
+		if err != nil {
+			return err
+		}
+		cfg.QoS = &qos.Config{
+			Controller: qos.ControllerConfig{
+				Alpha:       *qosAlpha,
+				Beta:        *qosBeta,
+				Interval:    *qosTick,
+				QueueTarget: *qosTarget,
+			},
+			Brownout: qos.BrownoutConfig{
+				MaxHeapBytes:  *qosHeap,
+				MaxGoroutines: *qosGoros,
+			},
+			Tenant: qos.TenantConfig{
+				Weights:      weights,
+				BurstSeconds: *tenBurst,
+			},
+			CacheBytes: *cacheBytes,
+			CacheTTL:   *cacheTTL,
+		}
+	}
 	var journal *runstate.Journal
 	if *journalDir != "" {
 		if err := runstate.EnsureWritableDir(*journalDir); err != nil {
@@ -182,6 +223,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer srv.Close() // stops the QoS control loop; no-op without -qos
 	// The final metrics snapshot and span trace are dumped on every exit
 	// path — clean drain, failed drain, selftest — so a post-mortem
 	// always has the last state the process saw.
@@ -241,6 +283,32 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "bcnd: drained cleanly: accepted=%d completed=%d failed=%d shed=%d artifacts=%d\n",
 		st.Accepted, st.Completed, st.Failed, st.Shed, st.JournalLen)
 	return nil
+}
+
+// parseTenantWeights parses the -tenant-weights flag: comma-separated
+// name=weight pairs, e.g. "acme=3,batchfarm=0.5". Weights must be
+// positive; unnamed tenants keep the default weight of 1.
+func parseTenantWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights %q: want name=weight pairs", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights %q: weight must be a positive number", pair)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
 }
 
 // runSelftest drives canary jobs of every kind through the full HTTP
@@ -436,15 +504,25 @@ func runCoordinator(ctx context.Context, opt coordOptions, out io.Writer) error 
 	return nil
 }
 
+// clientQoS is the QoS identity a client-mode submission carries:
+// tenant key, scheduling class, and end-to-end deadline budget.
+type clientQoS struct {
+	tenant   string
+	class    string
+	deadline time.Duration
+}
+
 // clientPost submits the spec in file (or stdin for "-") and prints the
 // raw artifact bytes to stdout; status metadata goes to stderr so the
 // output stays byte-comparable between runs. A shed (429) or draining
-// (503) response is retried up to retries extra times with capped,
-// jittered backoff, honoring the server's Retry-After feedback — the
-// polite client behavior the serving layer's explicit-feedback design
-// asks for. Other non-2xx responses become exit 1 with the server's
-// error body.
-func clientPost(ctx context.Context, base, file string, retries int, out io.Writer) error {
+// (503) response is retried up to retries extra times through a jittered
+// RetryPacer, honoring the server's Retry-After feedback — the polite
+// client behavior the serving layer's explicit-feedback design asks
+// for. The deadline is fixed at the first attempt: each retry stamps
+// the budget that remains, not a fresh one, so retries cannot extend
+// what the caller granted. Other non-2xx responses become exit 1 with
+// the server's error body.
+func clientPost(ctx context.Context, base, file string, retries int, q clientQoS, out io.Writer) error {
 	var body []byte
 	var err error
 	if file == "-" {
@@ -455,38 +533,50 @@ func clientPost(ctx context.Context, base, file string, retries int, out io.Writ
 	if err != nil {
 		return err
 	}
-	const backoffCap = 15 * time.Second
-	backoff := 200 * time.Millisecond
+	var deadlineAt time.Time
+	if q.deadline > 0 {
+		deadlineAt = time.Now().Add(q.deadline)
+	}
+	pacer := cluster.NewRetryPacer(200*time.Millisecond, 15*time.Second, 0)
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if q.tenant != "" {
+			req.Header.Set(qos.TenantHeader, q.tenant)
+		}
+		if q.class != "" {
+			req.Header.Set(qos.ClassHeader, q.class)
+		}
+		if !deadlineAt.IsZero() {
+			rem := time.Until(deadlineAt)
+			if rem <= 0 {
+				return fmt.Errorf("deadline budget spent before attempt %d", attempt+1)
+			}
+			req.Header.Set(qos.DeadlineHeader, qos.FormatDeadline(rem))
+		}
 		status, retryAfter, err := clientDo(req, out)
 		if err == nil || status == 0 {
 			return err // success, or a transport error retries won't help
 		}
+		// Only shed (429) and draining (503) are worth retrying here: a
+		// 504 means the deadline budget is already doomed, and anything
+		// else is a real answer.
 		if attempt >= retries || (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) {
 			return err
 		}
-		wait := backoff
-		if retryAfter > 0 {
-			wait = retryAfter
-		}
-		if wait > backoffCap {
-			wait = backoffCap
-		}
-		// Up to +25% jitter so a herd of shed clients does not re-collide
-		// on the same instant — the retry analogue of damping the gains.
-		wait += time.Duration(rand.Int63n(int64(wait)/4 + 1))
+		// The pacer jitters the server's hint up to +25% so a herd of shed
+		// clients does not re-collide on the same instant — the retry
+		// analogue of damping the gains.
+		wait := pacer.Next(retryAfter)
 		fmt.Fprintf(os.Stderr, "bcnd: shed with %d; retry %d/%d in %s\n", status, attempt+1, retries, wait.Round(time.Millisecond))
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
 			return fmt.Errorf("%w: request cancelled", runstate.ErrInterrupted)
 		}
-		backoff *= 2
 	}
 }
 

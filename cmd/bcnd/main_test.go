@@ -231,3 +231,73 @@ func TestServeMetricsAndTelemetryDump(t *testing.T) {
 		t.Errorf("trace.jsonl not written: %v", err)
 	}
 }
+
+// TestQoSFlagsEndToEnd boots the daemon with the closed-loop QoS layer
+// on and drives it with the client-mode QoS flags: the artifact comes
+// back, the response carries the advertised-rate and brownout headers,
+// and /metrics exports the qos_* series.
+func TestQoSFlagsEndToEnd(t *testing.T) {
+	base, stop := startServer(t,
+		"-qos", "-tenant-weights", "acme=3,batch=0.5", "-cache-bytes", "1048576")
+	specFile := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(specFile, solveBody(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var posted bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", base, "-post", specFile,
+		"-tenant", "acme", "-qos-class", "interactive", "-deadline", "30s",
+	}, &posted)
+	if err != nil {
+		t.Fatalf("-post with QoS flags: %v", err)
+	}
+	var art serve.Artifact
+	if err := json.Unmarshal(posted.Bytes(), &art); err != nil {
+		t.Fatalf("-post output not an artifact: %v", err)
+	}
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(solveBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.Header.Get("Bcn-Advertised-Rate") == "" {
+		t.Error("QoS server did not stamp Bcn-Advertised-Rate")
+	}
+	if got := resp.Header.Get("Bcn-Brownout-Level"); got != "full" {
+		t.Errorf("Bcn-Brownout-Level = %q, want full", got)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, mresp))
+	for _, want := range []string{"qos_admitted_total", "qos_advertised_rate"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestTenantWeightsFlagParsing pins the -tenant-weights grammar.
+func TestTenantWeightsFlagParsing(t *testing.T) {
+	got, err := parseTenantWeights("acme=3, batch=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["acme"] != 3 || got["batch"] != 0.5 {
+		t.Errorf("parsed %v", got)
+	}
+	if w, err := parseTenantWeights(""); err != nil || w != nil {
+		t.Errorf("empty flag: %v %v", w, err)
+	}
+	for _, bad := range []string{"acme", "acme=", "acme=0", "acme=-1", "acme=heavy"} {
+		if _, err := parseTenantWeights(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

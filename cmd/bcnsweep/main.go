@@ -42,6 +42,7 @@ import (
 	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/invariant"
+	"bcnphase/internal/qos"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/sweep"
 	"bcnphase/internal/telemetry"
@@ -93,6 +94,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		invPol   = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
 		telem    = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
 		clusterC = fs.String("cluster", "", "submit the grid to this bcnd coordinator URL instead of evaluating locally")
+		tenant   = fs.String("tenant", "", "cluster mode: tenant key sent as Bcn-Tenant (empty = anonymous)")
+		deadline = fs.Duration("deadline", 0, "cluster mode: end-to-end deadline budget sent as Bcn-Deadline-Ms (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,7 +152,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if *clusterC != "" {
-		done, err = runCluster(ctx, strings.TrimRight(*clusterC, "/"), grid, *resume, out)
+		done, err = runCluster(ctx, strings.TrimRight(*clusterC, "/"), grid, *resume, *tenant, *deadline, out)
 		return err
 	}
 
@@ -255,10 +258,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 }
 
 // runCluster submits the grid to a bcnd coordinator and streams the
-// merged map.csv to out, retrying politely (Retry-After honored, capped
-// backoff) when the coordinator sheds or drains. Returns the number of
-// freshly evaluated points the coordinator reported.
-func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeDir string, out io.Writer) (int, error) {
+// merged map.csv to out, retrying politely (Retry-After honored with
+// jitter, capped backoff) when the coordinator sheds or drains. The
+// tenant key and deadline budget ride the QoS headers; the deadline is
+// fixed at the first attempt so retries spend the original budget
+// rather than minting a new one. Returns the number of freshly
+// evaluated points the coordinator reported.
+func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeDir, tenant string, deadline time.Duration, out io.Writer) (int, error) {
 	body, err := json.Marshal(grid)
 	if err != nil {
 		return 0, err
@@ -268,17 +274,28 @@ func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeD
 			return 0, fmt.Errorf("preflight: %w", err)
 		}
 	}
-	const (
-		maxAttempts = 5
-		backoffCap  = 15 * time.Second
-	)
-	backoff := 500 * time.Millisecond
+	var deadlineAt time.Time
+	if deadline > 0 {
+		deadlineAt = time.Now().Add(deadline)
+	}
+	const maxAttempts = 5
+	pacer := cluster.NewRetryPacer(500*time.Millisecond, 15*time.Second, 0)
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweeps", bytes.NewReader(body))
 		if err != nil {
 			return 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(qos.TenantHeader, tenant)
+		}
+		if !deadlineAt.IsZero() {
+			rem := time.Until(deadlineAt)
+			if rem <= 0 {
+				return 0, fmt.Errorf("deadline budget spent before attempt %d", attempt)
+			}
+			req.Header.Set(qos.DeadlineHeader, qos.FormatDeadline(rem))
+		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -307,14 +324,10 @@ func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeD
 				}
 			}
 			return fresh, nil
-		case (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) && attempt < maxAttempts:
-			wait := backoff
-			if secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); err == nil && secs > 0 {
-				wait = time.Duration(secs) * time.Second
-			}
-			if wait > backoffCap {
-				wait = backoffCap
-			}
+		case cluster.RetryableStatus(resp.StatusCode) && attempt < maxAttempts:
+			// The pacer jitters the coordinator's Retry-After hint so a herd
+			// of shed submitters does not re-collide on the same instant.
+			wait := pacer.Next(cluster.ParseRetryAfterHeader(resp.Header))
 			fmt.Fprintf(os.Stderr, "bcnsweep: coordinator answered %d; retry %d/%d in %s\n",
 				resp.StatusCode, attempt, maxAttempts-1, wait.Round(time.Millisecond))
 			select {
@@ -322,7 +335,6 @@ func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeD
 			case <-ctx.Done():
 				return 0, fmt.Errorf("%w: cluster submission cancelled", runstate.ErrInterrupted)
 			}
-			backoff *= 2
 		default:
 			return 0, fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
 		}

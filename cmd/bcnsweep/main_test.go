@@ -3,13 +3,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"bcnphase/internal/cluster"
+	"bcnphase/internal/qos"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/telemetry"
 )
@@ -348,5 +353,63 @@ func TestRunSweepTelemetryPreflight(t *testing.T) {
 	var b strings.Builder
 	if err := run(context.Background(), []string{"-steps", "2", "-telemetry", file}, &b); err == nil {
 		t.Error("plain file accepted as telemetry dir")
+	}
+}
+
+// TestClusterModeStampsQoSHeadersAndRetries drives -cluster against a
+// stub coordinator that sheds the first submission: the client must
+// stamp the tenant and a positive decreasing deadline budget on every
+// attempt, honor the Retry-After hint, and come back for the CSV.
+func TestClusterModeStampsQoSHeadersAndRetries(t *testing.T) {
+	type attempt struct {
+		tenant string
+		ms     int64
+	}
+	var mu sync.Mutex
+	var attempts []attempt
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ms, _ := strconv.ParseInt(r.Header.Get(qos.DeadlineHeader), 10, 64)
+		mu.Lock()
+		attempts = append(attempts, attempt{r.Header.Get(qos.TenantHeader), ms})
+		mu.Unlock()
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Bcn-Fresh", "4")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(csvHeader + "\n"))
+	}))
+	defer stub.Close()
+
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-steps", "2", "-cluster", stub.URL,
+		"-tenant", "acme", "-deadline", "45s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("cluster mode: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), csvHeader) {
+		t.Errorf("output is not the coordinator CSV:\n%s", out.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(attempts) != 2 {
+		t.Fatalf("coordinator saw %d attempts, want 2", len(attempts))
+	}
+	for i, a := range attempts {
+		if a.tenant != "acme" {
+			t.Errorf("attempt %d: tenant %q, want acme", i, a.tenant)
+		}
+		if a.ms <= 0 || a.ms > 45000 {
+			t.Errorf("attempt %d: deadline budget %dms, want in (0, 45000]", i, a.ms)
+		}
+	}
+	// The retry spent at least the Retry-After second of the fixed budget.
+	if attempts[1].ms >= attempts[0].ms {
+		t.Errorf("retry budget %dms did not shrink from %dms", attempts[1].ms, attempts[0].ms)
 	}
 }

@@ -77,6 +77,21 @@ type Config struct {
 	// about (default 0.05).
 	RewriteFraction float64
 
+	// ShedFirst answers the first N requests with 429 and ShedRetryAfter
+	// (default 1s) as a fixed Retry-After — the thundering-herd
+	// generator: every client in the herd gets the identical hint, so
+	// only client-side jitter can decorrelate their retries. The proxy
+	// records every arrival (see Arrivals) so tests can measure the
+	// spread of the retry wave.
+	ShedFirst      int
+	ShedRetryAfter time.Duration
+	// DripBytes, when positive, writes response bodies DripBytes at a
+	// time with a DripInterval pause after each chunk — a slow reader /
+	// congested return path that holds the upstream's response open far
+	// beyond its service time.
+	DripBytes    int
+	DripInterval time.Duration
+
 	// Client performs upstream requests; nil uses a default.
 	Client *http.Client
 	// Log, when non-nil, receives one line per injected fault.
@@ -95,6 +110,8 @@ type Stats struct {
 	// RowsRewritten counts individual rows lied about across all
 	// Byzantine rewrites.
 	RowsRewritten uint64 `json:"rows_rewritten"`
+	Shed          uint64 `json:"shed"`
+	Dripped       uint64 `json:"dripped"`
 	Forwarded     uint64 `json:"forwarded"`
 	UpstreamError uint64 `json:"upstream_errors"`
 }
@@ -110,9 +127,14 @@ type Proxy struct {
 	stall, reset, truncate, flip, byz, pick, jitter *stream
 
 	partitioned atomic.Bool
+	shedLeft    atomic.Int64
+
+	arrivalMu sync.Mutex
+	arrivals  []time.Time
 
 	requests, nPartitioned, stalled, nReset, truncated uint64
 	flipped, rewritten, rowsRewritten, forwarded, errs uint64
+	nShed, dripped                                     uint64
 }
 
 // defaultSeed mirrors faults.defaultSeed so a zero seed is reproducible.
@@ -145,6 +167,12 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.RewriteFraction == 0 {
 		cfg.RewriteFraction = 0.05
 	}
+	if cfg.ShedFirst < 0 || cfg.DripBytes < 0 || cfg.DripInterval < 0 || cfg.ShedRetryAfter < 0 {
+		return nil, fmt.Errorf("%w: shed/drip knobs must be non-negative", ErrConfig)
+	}
+	if cfg.ShedFirst > 0 && cfg.ShedRetryAfter == 0 {
+		cfg.ShedRetryAfter = time.Second
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = defaultSeed
@@ -153,7 +181,7 @@ func New(cfg Config) (*Proxy, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Proxy{
+	p := &Proxy{
 		cfg: cfg, target: target, client: client,
 		stall:    newStream(seed, 1),
 		reset:    newStream(seed, 2),
@@ -162,7 +190,9 @@ func New(cfg Config) (*Proxy, error) {
 		byz:      newStream(seed, 5),
 		pick:     newStream(seed, 6),
 		jitter:   newStream(seed, 7),
-	}, nil
+	}
+	p.shedLeft.Store(int64(cfg.ShedFirst))
+	return p, nil
 }
 
 // SetPartitioned toggles a network partition: while set, every request
@@ -183,6 +213,8 @@ func (p *Proxy) Stats() Stats {
 		Flipped:       atomic.LoadUint64(&p.flipped),
 		Rewritten:     atomic.LoadUint64(&p.rewritten),
 		RowsRewritten: atomic.LoadUint64(&p.rowsRewritten),
+		Shed:          atomic.LoadUint64(&p.nShed),
+		Dripped:       atomic.LoadUint64(&p.dripped),
 		Forwarded:     atomic.LoadUint64(&p.forwarded),
 		UpstreamError: atomic.LoadUint64(&p.errs),
 	}
@@ -197,6 +229,24 @@ func sever() { panic(http.ErrAbortHandler) }
 
 func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
 	atomic.AddUint64(&p.requests, 1)
+	if p.cfg.ShedFirst > 0 {
+		p.arrivalMu.Lock()
+		p.arrivals = append(p.arrivals, time.Now())
+		p.arrivalMu.Unlock()
+		if p.shedLeft.Add(-1) >= 0 {
+			atomic.AddUint64(&p.nShed, 1)
+			p.logf("herd: shedding %s %s with Retry-After %v", r.Method, r.URL.Path, p.cfg.ShedRetryAfter)
+			secs := int64(p.cfg.ShedRetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":"chaosnet herd shed","reason":"shed","retry_after_sec":%d}`, secs)
+			return
+		}
+	}
 	if p.partitioned.Load() {
 		atomic.AddUint64(&p.nPartitioned, 1)
 		p.logf("partitioned: dropping %s %s", r.Method, r.URL.Path)
@@ -257,7 +307,37 @@ func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
 		}
 		sever()
 	}
+	if p.cfg.DripBytes > 0 && len(body) > p.cfg.DripBytes {
+		atomic.AddUint64(&p.dripped, 1)
+		p.logf("dripping %d bytes of %s response in %d-byte chunks", len(body), r.URL.Path, p.cfg.DripBytes)
+		for off := 0; off < len(body); off += p.cfg.DripBytes {
+			end := off + p.cfg.DripBytes
+			if end > len(body) {
+				end = len(body)
+			}
+			if _, err := w.Write(body[off:end]); err != nil {
+				return
+			}
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			if p.cfg.DripInterval > 0 && end < len(body) {
+				time.Sleep(p.cfg.DripInterval)
+			}
+		}
+		return
+	}
 	_, _ = w.Write(body)
+}
+
+// Arrivals returns the recorded arrival time of every request seen
+// while ShedFirst is configured, in order. The retry wave's spread —
+// max minus min over the arrivals after the shed phase — is the herd
+// decorrelation measurement.
+func (p *Proxy) Arrivals() []time.Time {
+	p.arrivalMu.Lock()
+	defer p.arrivalMu.Unlock()
+	return append([]time.Time(nil), p.arrivals...)
 }
 
 // delay is the fixed latency plus a jitter draw.

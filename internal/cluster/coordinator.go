@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"bcnphase/internal/qos"
 	"bcnphase/internal/runstate"
 	"bcnphase/internal/sweep"
 	"bcnphase/internal/telemetry"
@@ -797,6 +798,19 @@ func (c *Coordinator) recordDone(fp string, sh Shard) error {
 func (c *Coordinator) dispatch(ctx context.Context, st *sweepState, w int, sr *shardRun) (ShardResult, error) {
 	sh := &ShardSpec{Grid: st.grid, Index: sr.shard.Index, Points: sr.shard.Points}
 	timeoutMs := int64(c.cfg.LeaseTimeout / time.Millisecond * 9 / 10)
+	// Deadline propagation: a sweep running under a client budget caps
+	// each shard's worker-side timeout at the remaining budget minus one
+	// hop margin, and a shard that no longer fits its budget is doomed
+	// here — before it occupies a worker.
+	if rem, ok := qos.Remaining(ctx); ok {
+		rem = qos.Forward(rem, qos.DefaultHopMargin)
+		if rem <= 0 {
+			return ShardResult{}, fmt.Errorf("cluster: shard %d doomed: %w", sh.Index, context.DeadlineExceeded)
+		}
+		if ms := int64(rem / time.Millisecond); ms < timeoutMs {
+			timeoutMs = ms
+		}
+	}
 	body, err := EncodeShardJob(sh, timeoutMs)
 	if err != nil {
 		return ShardResult{}, err
@@ -857,6 +871,17 @@ func (c *Coordinator) postShard(ctx context.Context, w int, sh *ShardSpec, body 
 		return ShardResult{}, -1, fmt.Errorf("cluster: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the tenant key and the per-hop-decremented deadline so a
+	// QoS-enabled worker bills this shard to the right tenant and dooms
+	// it early when the budget has drained.
+	if tenant := qos.TenantFromContext(ctx); tenant != "" {
+		req.Header.Set(qos.TenantHeader, tenant)
+	}
+	if rem, ok := qos.Remaining(ctx); ok {
+		if fwd := qos.Forward(rem, qos.DefaultHopMargin); fwd > 0 {
+			req.Header.Set(qos.DeadlineHeader, qos.FormatDeadline(fwd))
+		}
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

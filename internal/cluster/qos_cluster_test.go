@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bcnphase/internal/qos"
+)
+
+// TestQoSHeadersPropagateToWorkers: a sweep submitted with a tenant key
+// and a deadline budget reaches every worker with the tenant intact and
+// the budget decremented by at least one hop margin — the coordinator
+// spends budget, it never forwards more time than it was given.
+func TestQoSHeadersPropagateToWorkers(t *testing.T) {
+	var mu sync.Mutex
+	var tenants []string
+	var budgets []int64
+	w := newFakeWorker(t, func(_ http.ResponseWriter, r *http.Request, _ *ShardSpec) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		tenants = append(tenants, r.Header.Get(qos.TenantHeader))
+		ms, _ := strconv.ParseInt(r.Header.Get(qos.DeadlineHeader), 10, 64)
+		budgets = append(budgets, ms)
+		return false
+	})
+	c, err := New(Config{Workers: []string{w.URL()}, ShardSize: 4, Journal: newMemJournal(), HeartbeatInterval: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := NewServer(ServerConfig{Coordinator: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := json.Marshal(testGrid(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweeps", bytes.NewReader(body))
+	req.Header.Set(qos.TenantHeader, "acme")
+	req.Header.Set(qos.DeadlineHeader, "30000")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep with deadline: %d body %s", rec.Code, rec.Body.Bytes())
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(tenants) == 0 {
+		t.Fatal("no shard dispatches observed")
+	}
+	for i, tenant := range tenants {
+		if tenant != "acme" {
+			t.Errorf("dispatch %d: tenant %q, want acme", i, tenant)
+		}
+		// Two hops (client->coordinator, coordinator->worker) each cost a
+		// margin; what the worker sees must be positive but strictly less
+		// than the client's budget minus one margin.
+		if budgets[i] <= 0 || budgets[i] > 30000-int64(qos.DefaultHopMargin/time.Millisecond) {
+			t.Errorf("dispatch %d: forwarded budget %dms, want in (0, %d]", i, budgets[i],
+				30000-int64(qos.DefaultHopMargin/time.Millisecond))
+		}
+	}
+}
+
+// TestQoSSweepHeaderValidation: garbage tenant headers are 400s and a
+// budget inside the hop margin is doomed 504 — both before any shard is
+// cut.
+func TestQoSSweepHeaderValidation(t *testing.T) {
+	w := newFakeWorker(t, nil)
+	c, err := New(Config{Workers: []string{w.URL()}, ShardSize: 4, Journal: newMemJournal(), HeartbeatInterval: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := NewServer(ServerConfig{Coordinator: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(testGrid(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(hdr map[string]string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweeps", bytes.NewReader(body))
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post(map[string]string{qos.TenantHeader: "bad tenant!"}); rec.Code != http.StatusBadRequest ||
+		!strings.Contains(rec.Body.String(), "malformed-qos-header") {
+		t.Errorf("bad tenant: %d body %s", rec.Code, rec.Body.Bytes())
+	}
+	if rec := post(map[string]string{qos.DeadlineHeader: "later"}); rec.Code != http.StatusBadRequest ||
+		!strings.Contains(rec.Body.String(), "malformed-qos-header") {
+		t.Errorf("bad deadline: %d body %s", rec.Code, rec.Body.Bytes())
+	}
+	if rec := post(map[string]string{qos.DeadlineHeader: "10"}); rec.Code != http.StatusGatewayTimeout ||
+		!strings.Contains(rec.Body.String(), "deadline-doomed") {
+		t.Errorf("doomed deadline: %d body %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := w.requests.Load(); got != 0 {
+		t.Errorf("%d shard dispatches for rejected sweeps, want 0", got)
+	}
+}
+
+// TestDispatchDoomsShardOnDrainedBudget: once the sweep context's
+// budget is inside the hop margin, dispatch refuses to post the shard
+// at all — the worker never sees doomed work.
+func TestDispatchDoomsShardOnDrainedBudget(t *testing.T) {
+	w := newFakeWorker(t, nil)
+	c, err := New(Config{Workers: []string{w.URL()}, ShardSize: 4, Journal: newMemJournal(), HeartbeatInterval: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), qos.DefaultHopMargin/2)
+	defer cancel()
+	if _, err := c.Run(ctx, testGrid(3)); err == nil {
+		t.Fatal("sweep inside the hop margin succeeded")
+	}
+	if got := w.requests.Load(); got != 0 {
+		t.Errorf("%d dispatches under a drained budget, want 0", got)
+	}
+}
+
+// TestRetryPacerJittersHint: two pacers given the same Retry-After hint
+// must not wait identically (herd decorrelation), and every jittered
+// wait honors the hint as a floor.
+func TestRetryPacerJittersHint(t *testing.T) {
+	hint := 4 * time.Second
+	a := NewRetryPacer(0, 0, 11)
+	b := NewRetryPacer(0, 0, 22)
+	differ := false
+	for i := 0; i < 8; i++ {
+		wa, wb := a.Next(hint), b.Next(hint)
+		if wa < hint || wb < hint {
+			t.Fatalf("jittered wait below the hint: %v %v", wa, wb)
+		}
+		if wa > hint+hint/4 || wb > hint+hint/4 {
+			t.Fatalf("jitter beyond +25%%: %v %v", wa, wb)
+		}
+		if wa != wb {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("independently-seeded pacers never diverged on a shared hint")
+	}
+	// Without a hint the pacer grows exponentially under its cap.
+	p := NewRetryPacer(100*time.Millisecond, time.Second, 7)
+	prevMax := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		d := p.Next(0)
+		if d > time.Second {
+			t.Fatalf("wait %v beyond cap", d)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	if prevMax < 250*time.Millisecond {
+		t.Errorf("backoff never grew: max %v", prevMax)
+	}
+}

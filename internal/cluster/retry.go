@@ -41,6 +41,42 @@ func (b *backoff) next(retryAfter time.Duration) time.Duration {
 	return d/2 + time.Duration(b.rng.Int63n(int64(d)/2+1))
 }
 
+// RetryPacer is the exported face of the dispatch backoff, for the
+// client binaries (bcnd -post, bcnsweep -cluster): jittered exponential
+// growth that honors explicit Retry-After feedback. A herd of clients
+// shed together MUST each jitter independently — retrying on the shared
+// hint verbatim re-collides the herd every cycle.
+type RetryPacer struct {
+	b backoff
+}
+
+// NewRetryPacer builds a pacer with the given base and cap (zeros get
+// 200ms and 10s). seed 0 seeds from the clock; a fixed seed makes the
+// jitter sequence reproducible for tests.
+func NewRetryPacer(base, cap time.Duration, seed int64) *RetryPacer {
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 10 * time.Second
+	}
+	return &RetryPacer{b: backoff{base: base, cap: cap, rng: newLockedRand(seed)}}
+}
+
+// Next returns the jittered wait before the next attempt. retryAfter is
+// the server's Retry-After hint, 0 when absent.
+func (p *RetryPacer) Next(retryAfter time.Duration) time.Duration {
+	return p.b.next(retryAfter)
+}
+
+// RetryableStatus exposes the transient-status classification to the
+// client binaries, so every retry loop shares one verdict table.
+func RetryableStatus(code int) bool { return retryableStatus(code) }
+
+// ParseRetryAfterHeader exposes Retry-After parsing (delay-seconds
+// form only) to the client binaries.
+func ParseRetryAfterHeader(h http.Header) time.Duration { return parseRetryAfter(h) }
+
 // retryableStatus reports whether an HTTP status from a worker is worth
 // retrying: overload shed (429), gateway failures (502, 504) and
 // unavailability (503, e.g. a draining worker) are transient; anything

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"bcnphase/internal/qos"
 )
 
 // ServerConfig configures the coordinator's HTTP front end.
@@ -121,6 +123,27 @@ func (s *Server) reject(w http.ResponseWriter, status int, retryAfter time.Durat
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	c := s.cfg.Coordinator
+	// QoS wire protocol: the tenant key rides into dispatch (workers bill
+	// shards to it) and the deadline budget, decremented by one hop
+	// margin, bounds the whole sweep. A budget that cannot cover even the
+	// hop is answered now, before any shard is cut.
+	tenant, terr := qos.ParseTenant(r.Header.Get(qos.TenantHeader))
+	if terr != nil {
+		s.reject(w, http.StatusBadRequest, 0, clusterError{
+			Error: fmt.Sprintf("%s: %v", qos.TenantHeader, terr), Reason: "malformed-qos-header"})
+		return
+	}
+	budget, hasDeadline, derr := qos.ParseDeadline(r.Header.Get(qos.DeadlineHeader))
+	if derr != nil {
+		s.reject(w, http.StatusBadRequest, 0, clusterError{
+			Error: fmt.Sprintf("%s: %v", qos.DeadlineHeader, derr), Reason: "malformed-qos-header"})
+		return
+	}
+	if hasDeadline && qos.Doomed(budget, qos.DefaultHopMargin) {
+		s.reject(w, http.StatusGatewayTimeout, 0, clusterError{
+			Error: "deadline budget cannot cover the sweep", Reason: "deadline-doomed"})
+		return
+	}
 	grid, err := DecodeSweepRequest(http.MaxBytesReader(w, r.Body, MaxWireBytes), MaxWireBytes)
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -180,10 +203,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			s.wg.Done()
 			close(call.done)
 		}()
-		ctx := context.Background()
+		ctx := qos.WithTenant(context.Background(), tenant)
 		if s.cfg.SweepTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.SweepTimeout)
+			defer cancel()
+		}
+		if hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = qos.WithBudget(ctx, qos.Forward(budget, qos.DefaultHopMargin))
 			defer cancel()
 		}
 		// The sweep deliberately outlives the submitting connection: a

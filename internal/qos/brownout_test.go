@@ -1,0 +1,106 @@
+package qos
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestWatchdogLadderEscalatesImmediately(t *testing.T) {
+	w := NewWatchdog(BrownoutConfig{MaxGoroutines: -1})
+	if got := w.Observe(0.5); got != Full {
+		t.Fatalf("calm queue -> %v", got)
+	}
+	if got := w.Observe(0.8); got != NoNewSweeps {
+		t.Fatalf("0.8 occupancy -> %v", got)
+	}
+	if got := w.Observe(0.99); got != CachedOnly {
+		t.Fatalf("0.99 occupancy -> %v", got)
+	}
+}
+
+func TestWatchdogExitHoldsAndStepsDownOneRung(t *testing.T) {
+	w := NewWatchdog(BrownoutConfig{ExitHold: 3, MaxGoroutines: -1})
+	w.Observe(0.99) // CachedOnly
+	// Two calm observations: still held.
+	for i := 0; i < 2; i++ {
+		if got := w.Observe(0.1); got != CachedOnly {
+			t.Fatalf("obs %d: dropped early to %v", i, got)
+		}
+	}
+	// Third calm observation steps down exactly one rung.
+	if got := w.Observe(0.1); got != NoNewSweeps {
+		t.Fatalf("after hold: %v, want no-new-sweeps", got)
+	}
+	// Three more to reach Full.
+	w.Observe(0.1)
+	w.Observe(0.1)
+	if got := w.Observe(0.1); got != Full {
+		t.Fatalf("did not recover to full: %v", got)
+	}
+}
+
+func TestWatchdogFlappingSignalResetsHold(t *testing.T) {
+	w := NewWatchdog(BrownoutConfig{ExitHold: 3, MaxGoroutines: -1})
+	w.Observe(0.99)
+	w.Observe(0.1)
+	w.Observe(0.1)
+	w.Observe(0.96) // re-trips the rung: hold restarts
+	w.Observe(0.1)
+	w.Observe(0.1)
+	if got := w.Observe(0.1); got != NoNewSweeps {
+		t.Fatalf("hold did not restart after flap: %v", got)
+	}
+}
+
+func TestWatchdogGoroutineCapForcesCachedOnly(t *testing.T) {
+	w := NewWatchdog(BrownoutConfig{MaxGoroutines: 1}) // always exceeded
+	if got := w.Observe(0); got != CachedOnly {
+		t.Fatalf("goroutine cap ignored: %v", got)
+	}
+}
+
+func TestWatchdogHeapSignals(t *testing.T) {
+	w := NewWatchdog(BrownoutConfig{MaxHeapBytes: 1000, MaxGoroutines: -1})
+	heap := uint64(500)
+	w.readStats = func(ms *runtime.MemStats) { ms.HeapAlloc = heap }
+	if got := w.Observe(0); got != Full {
+		t.Fatalf("small heap: %v", got)
+	}
+	heap = 1200
+	if got := w.Observe(0); got != CachedOnly {
+		t.Fatalf("heap over cap: %v", got)
+	}
+	heap = 1600 // > 1.5x cap
+	if got := w.Observe(0); got != Drain {
+		t.Fatalf("heap over hard cap: %v", got)
+	}
+}
+
+func TestWatchdogPinIsTerminal(t *testing.T) {
+	w := NewWatchdog(BrownoutConfig{ExitHold: 1, MaxGoroutines: -1})
+	w.Pin(CachedOnly, "journal fsync failed")
+	for i := 0; i < 10; i++ {
+		if got := w.Observe(0); got != CachedOnly {
+			t.Fatalf("pinned ladder recovered to %v", got)
+		}
+	}
+	if pinned, reason := w.Pinned(); !pinned || reason != "journal fsync failed" {
+		t.Fatalf("Pinned() = %v %q", pinned, reason)
+	}
+	// Escalation above the pin still works; recovery stops at the pin.
+	heap := uint64(1600)
+	w.cfg.MaxHeapBytes = 1000
+	w.readStats = func(ms *runtime.MemStats) { ms.HeapAlloc = heap }
+	if got := w.Observe(0); got != Drain {
+		t.Fatalf("pinned ladder refused to escalate: %v", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{Full: "full", NoNewSweeps: "no-new-sweeps", CachedOnly: "cached-only", Drain: "drain", Level(9): "unknown"}
+	for l, s := range want {
+		if l.String() != s {
+			t.Fatalf("Level(%d).String() = %q, want %q", l, l.String(), s)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package qos
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Cache sizing defaults.
+const (
+	// DefaultCacheBytes bounds the in-memory artifact tier (64 MiB).
+	DefaultCacheBytes = 64 << 20
+	// DefaultCacheTTL expires hot entries so a restarted journal and the
+	// front cache cannot diverge forever.
+	DefaultCacheTTL = 10 * time.Minute
+)
+
+// Store is the durable tier behind the cache. internal/runstate.Journal
+// and internal/serve.MemCache both satisfy it structurally; qos
+// declares its own copy to keep the import graph acyclic.
+type Store interface {
+	Lookup(key string) ([]byte, bool)
+	Record(key string, val []byte) error
+	Len() int
+}
+
+// ArtifactCache is a byte-bounded LRU+TTL content-addressed cache in
+// front of a durable Store. Reads hit the front tier first and promote
+// backing-store hits; writes go through to the store and populate the
+// front tier. PutVolatile populates only the front tier — the degraded-
+// storage path, where artifacts stay servable but are not durable.
+// Safe for concurrent use.
+type ArtifactCache struct {
+	backing  Store
+	maxBytes int64
+	ttl      time.Duration
+	now      func() time.Time
+
+	mu      sync.Mutex
+	ll      *list.List // front of list = most recently used
+	entries map[string]*list.Element
+	bytes   int64
+
+	hits      uint64 // front-tier hits
+	backHits  uint64 // backing-store hits promoted into the front tier
+	misses    uint64
+	evictions uint64
+	expiries  uint64
+}
+
+type cacheEntry struct {
+	key     string
+	val     []byte
+	expires time.Time // zero means no expiry
+}
+
+// NewArtifactCache wraps a backing store (which may be nil for a purely
+// volatile cache). maxBytes <= 0 disables the front tier entirely —
+// every call passes straight through to the store. ttl <= 0 disables
+// expiry. now overrides the clock (tests); nil uses time.Now.
+func NewArtifactCache(backing Store, maxBytes int64, ttl time.Duration, now func() time.Time) *ArtifactCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &ArtifactCache{
+		backing:  backing,
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		now:      now,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Lookup finds an artifact, checking the front tier, then the backing
+// store (promoting hits). The returned slice must not be mutated; keys
+// are content hashes, so the bytes for a key never change.
+func (c *ArtifactCache) Lookup(key string) ([]byte, bool) {
+	if c.maxBytes <= 0 {
+		if c.backing == nil {
+			return nil, false
+		}
+		return c.backing.Lookup(key)
+	}
+	now := c.now()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if !ent.expires.IsZero() && now.After(ent.expires) {
+			c.removeLocked(el)
+			c.expiries++
+		} else {
+			c.ll.MoveToFront(el)
+			c.hits++
+			val := ent.val
+			c.mu.Unlock()
+			return val, true
+		}
+	}
+	c.mu.Unlock()
+
+	if c.backing != nil {
+		if val, ok := c.backing.Lookup(key); ok {
+			c.mu.Lock()
+			c.backHits++
+			c.insertLocked(key, val, now)
+			c.mu.Unlock()
+			return val, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Record writes through: the durable store first ("durability before
+// acknowledgment" — a front-tier insert must never mask a failed
+// journal append), then the front tier on success.
+func (c *ArtifactCache) Record(key string, val []byte) error {
+	if c.backing != nil {
+		if err := c.backing.Record(key, val); err != nil {
+			return err
+		}
+	}
+	c.PutVolatile(key, val)
+	return nil
+}
+
+// PutVolatile inserts into the front tier only. Used when the durable
+// store is degraded: results stay servable for the TTL even though they
+// could not be journaled.
+func (c *ArtifactCache) PutVolatile(key string, val []byte) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.insertLocked(key, val, c.now())
+	c.mu.Unlock()
+}
+
+// insertLocked adds or refreshes an entry and evicts LRU entries until
+// the byte budget holds. Entries larger than the whole budget are not
+// cached.
+func (c *ArtifactCache) insertLocked(key string, val []byte, now time.Time) {
+	if int64(len(val)) > c.maxBytes {
+		return
+	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = now.Add(c.ttl)
+	}
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		ent.expires = expires
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+		c.entries[key] = el
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.maxBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(tail)
+		c.evictions++
+	}
+}
+
+func (c *ArtifactCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+	c.bytes -= int64(len(ent.val))
+}
+
+// Len reports the durable store's entry count when a store is attached
+// (matching the serve.Cache contract the journal implements), else the
+// front tier's.
+func (c *ArtifactCache) Len() int {
+	if c.backing != nil {
+		return c.backing.Len()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time view of the front tier.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Hits      uint64 // front-tier hits
+	BackHits  uint64 // backing-store hits promoted forward
+	Misses    uint64
+	Evictions uint64
+	Expiries  uint64
+}
+
+// Stats snapshots the front-tier counters.
+func (c *ArtifactCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		BackHits:  c.backHits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Expiries:  c.expiries,
+	}
+}

@@ -1,0 +1,234 @@
+package qos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mapStore is a trivial Store for cache tests; recordErr, when set,
+// fails every Record (the degraded-journal stand-in).
+type mapStore struct {
+	mu        sync.Mutex
+	m         map[string][]byte
+	recordErr error
+	lookups   int
+}
+
+func newMapStore() *mapStore { return &mapStore{m: make(map[string][]byte)} }
+
+func (s *mapStore) Lookup(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lookups++
+	v, ok := s.m[key]
+	return v, ok
+}
+func (s *mapStore) Record(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recordErr != nil {
+		return s.recordErr
+	}
+	s.m[key] = val
+	return nil
+}
+func (s *mapStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func TestCacheWriteThroughAndPromotion(t *testing.T) {
+	st := newMapStore()
+	c := NewArtifactCache(st, 1<<20, 0, nil)
+	if err := c.Record("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.m["k1"]; !ok {
+		t.Fatal("Record did not write through to the store")
+	}
+	// Front-tier hit: no store lookup.
+	before := st.lookups
+	if v, ok := c.Lookup("k1"); !ok || string(v) != "v1" {
+		t.Fatalf("Lookup = %q, %v", v, ok)
+	}
+	if st.lookups != before {
+		t.Fatal("front-tier hit touched the store")
+	}
+	// Store-only entry is promoted on first lookup, then served front.
+	st.m["k2"] = []byte("v2")
+	if v, ok := c.Lookup("k2"); !ok || string(v) != "v2" {
+		t.Fatalf("backing lookup = %q, %v", v, ok)
+	}
+	before = st.lookups
+	c.Lookup("k2")
+	if st.lookups != before {
+		t.Fatal("promoted entry not served from front tier")
+	}
+	s := c.Stats()
+	if s.Hits < 1 || s.BackHits != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCacheLRUEvictionHoldsByteBudget(t *testing.T) {
+	c := NewArtifactCache(nil, 100, 0, nil)
+	val := make([]byte, 40)
+	c.PutVolatile("a", val)
+	c.PutVolatile("b", val)
+	c.Lookup("a") // refresh a; b becomes LRU
+	c.PutVolatile("c", val)
+	if s := c.Stats(); s.Bytes > 100 {
+		t.Fatalf("budget exceeded: %+v", s)
+	}
+	if _, ok := c.Lookup("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatalf("entry %s evicted out of LRU order", k)
+		}
+	}
+	// An entry bigger than the whole budget is refused, not thrashed.
+	c.PutVolatile("huge", make([]byte, 200))
+	if s := c.Stats(); s.Bytes > 100 {
+		t.Fatalf("oversized entry broke the budget: %+v", s)
+	}
+	if _, ok := c.Lookup("huge"); ok {
+		t.Fatal("oversized entry cached")
+	}
+}
+
+func TestCacheTTLExpiryRefreshesFromBacking(t *testing.T) {
+	clk := newFakeClock()
+	st := newMapStore()
+	c := NewArtifactCache(st, 1<<20, time.Minute, clk.now)
+	if err := c.Record("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Minute)
+	// Expired in front, but the durable tier still has it: the lookup
+	// must succeed via promotion and count one expiry.
+	before := st.lookups
+	if v, ok := c.Lookup("k"); !ok || string(v) != "v" {
+		t.Fatalf("expired lookup = %q, %v", v, ok)
+	}
+	if st.lookups == before {
+		t.Fatal("expired entry served stale from front tier")
+	}
+	if s := c.Stats(); s.Expiries != 1 {
+		t.Fatalf("expiries = %d", s.Expiries)
+	}
+	// The promotion re-armed the TTL.
+	clk.advance(30 * time.Second)
+	before = st.lookups
+	if _, ok := c.Lookup("k"); !ok {
+		t.Fatal("re-promoted entry missing")
+	}
+	if st.lookups != before {
+		t.Fatal("re-promoted entry not front-served")
+	}
+}
+
+func TestCacheVolatileOnlySkipsDegradedStore(t *testing.T) {
+	st := newMapStore()
+	st.recordErr = fmt.Errorf("disk full")
+	c := NewArtifactCache(st, 1<<20, 0, nil)
+	if err := c.Record("k", []byte("v")); err == nil {
+		t.Fatal("Record should surface the store error")
+	}
+	// The failed write-through did not populate the front tier — a 200
+	// must never be served for bytes the journal rejected via Record.
+	if _, ok := c.Lookup("k"); ok {
+		t.Fatal("failed Record populated the cache")
+	}
+	// PutVolatile is the explicit degraded path.
+	c.PutVolatile("k", []byte("v"))
+	if v, ok := c.Lookup("k"); !ok || string(v) != "v" {
+		t.Fatalf("volatile entry = %q, %v", v, ok)
+	}
+	if _, ok := st.m["k"]; ok {
+		t.Fatal("volatile put reached the store")
+	}
+}
+
+func TestCacheDisabledFrontTierPassesThrough(t *testing.T) {
+	st := newMapStore()
+	c := NewArtifactCache(st, -1, 0, nil)
+	if err := c.Record("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Lookup("k"); !ok || string(v) != "v" {
+		t.Fatalf("pass-through lookup = %q, %v", v, ok)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("disabled front tier holds entries: %+v", s)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// TestCacheConcurrentEvictionRace hammers Put/Lookup/Record from many
+// goroutines with a budget small enough to force constant eviction,
+// while a sampler asserts the byte budget is never exceeded. Run under
+// -race this is the eviction-vs-access race test.
+func TestCacheConcurrentEvictionRace(t *testing.T) {
+	const budget = 4096
+	st := newMapStore()
+	c := NewArtifactCache(st, budget, time.Millisecond, nil)
+	stop := make(chan struct{})
+	var violated sync.Once
+	var violation string
+
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := c.Stats(); s.Bytes > budget {
+				violated.Do(func() { violation = fmt.Sprintf("bytes %d > budget %d", s.Bytes, budget) })
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			val := make([]byte, 128+16*g)
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				switch i % 3 {
+				case 0:
+					c.PutVolatile(key, val)
+				case 1:
+					if v, ok := c.Lookup(key); ok && len(v) == 0 {
+						violated.Do(func() { violation = "empty value from Lookup" })
+					}
+				case 2:
+					if err := c.Record(key, val); err != nil {
+						violated.Do(func() { violation = err.Error() })
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-sampler
+	if violation != "" {
+		t.Fatal(violation)
+	}
+	if s := c.Stats(); s.Bytes > budget || s.Bytes < 0 {
+		t.Fatalf("final bytes out of range: %+v", s)
+	}
+}

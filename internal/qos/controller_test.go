@@ -1,0 +1,148 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+// TestControllerConvergesUnderStepOverload drives the discrete control
+// loop with a simulated queue under a sustained 25x overload and checks
+// the advertised rate settles near measured capacity with a bounded
+// queue — the discrete-time counterpart of the phase-plane stability
+// test in stability_test.go.
+func TestControllerConvergesUnderStepOverload(t *testing.T) {
+	const (
+		workers     = 4
+		serviceSecs = 0.05 // 50ms/job -> capacity 80 jobs/sec
+		tick        = 100 * time.Millisecond
+		offered     = 200 // requests per tick = 2000/sec
+		queueTarget = 8.0
+	)
+	clk := newFakeClock()
+	ctl := NewController(ControllerConfig{
+		QueueTarget: queueTarget,
+		Interval:    tick,
+		InitialRate: 200, // modestly open; the loop must pull it to ~80
+		Now:         clk.now,
+	}, workers)
+
+	capacity := float64(workers) / serviceSecs
+	servePerTick := float64(workers) * tick.Seconds() / serviceSecs // 8 jobs
+
+	queue := 0.0
+	var rates, queues []float64
+	for i := 0; i < 400; i++ {
+		for j := 0; j < offered; j++ {
+			if ctl.Admit() {
+				queue++
+			}
+		}
+		served := math.Min(queue, servePerTick)
+		queue -= served
+		for j := 0; j < int(served); j++ {
+			ctl.Completed(time.Duration(serviceSecs * float64(time.Second)))
+		}
+		clk.advance(tick)
+		ctl.Tick(queue)
+		rates = append(rates, ctl.AdvertisedRate())
+		queues = append(queues, queue)
+	}
+
+	// Settled band: mean advertised rate within 40% of capacity and the
+	// queue near its target over the last 50 ticks.
+	var rSum, qSum float64
+	for i := 350; i < 400; i++ {
+		rSum += rates[i]
+		qSum += queues[i]
+	}
+	rMean, qMean := rSum/50, qSum/50
+	if rMean < 0.6*capacity || rMean > 1.4*capacity {
+		t.Fatalf("advertised rate did not converge: mean %.1f jobs/s, capacity %.1f", rMean, capacity)
+	}
+	if qMean > 5*queueTarget {
+		t.Fatalf("queue did not settle: mean depth %.1f, target %.1f", qMean, queueTarget)
+	}
+	// Oscillation must not grow: the rate's spread over the final 100
+	// ticks is no larger than over the first 100 settled ticks.
+	spread := func(lo, hi int) float64 {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			mn = math.Min(mn, rates[i])
+			mx = math.Max(mx, rates[i])
+		}
+		return mx - mn
+	}
+	if early, late := spread(100, 200), spread(300, 400); late > early+1e-9 {
+		t.Fatalf("rate oscillation grew: spread %.2f (ticks 100-200) -> %.2f (ticks 300-400)", early, late)
+	}
+}
+
+func TestControllerAdmitExhaustsBucket(t *testing.T) {
+	clk := newFakeClock()
+	ctl := NewController(ControllerConfig{InitialRate: 10, BurstSeconds: 0.5, Now: clk.now}, 1)
+	// Burst = 5 tokens; the 6th admit without time passing must shed.
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ctl.Admit() {
+			granted++
+		}
+	}
+	if granted != 5 {
+		t.Fatalf("granted %d from a 5-token burst", granted)
+	}
+	if ra := ctl.RetryAfter(); ra < time.Second || ra > time.Minute {
+		t.Fatalf("RetryAfter out of range: %v", ra)
+	}
+	// Tokens refill with time.
+	clk.advance(time.Second)
+	if !ctl.Admit() {
+		t.Fatal("admit after refill should succeed")
+	}
+}
+
+func TestControllerIgnoresBogusCompletions(t *testing.T) {
+	ctl := NewController(ControllerConfig{}, 2)
+	before := ctl.ServiceTime()
+	ctl.Completed(0)
+	ctl.Completed(-time.Second)
+	if got := ctl.ServiceTime(); got != before {
+		t.Fatalf("bogus completions moved the estimate: %v -> %v", before, got)
+	}
+}
+
+func TestControllerTickClampsToHeadroom(t *testing.T) {
+	clk := newFakeClock()
+	ctl := NewController(ControllerConfig{InitialRate: 1e6, Now: clk.now}, 1)
+	clk.advance(100 * time.Millisecond)
+	ctl.Tick(0) // empty queue, zero admitted: rate wants to grow
+	capacity := ctl.Capacity()
+	if r := ctl.AdvertisedRate(); r > HeadroomFactor*capacity+1e-9 {
+		t.Fatalf("rate %.1f exceeds headroom ceiling %.1f", r, HeadroomFactor*capacity)
+	}
+}
+
+func TestVectorFieldEquilibrium(t *testing.T) {
+	cfg := ControllerConfig{QueueTarget: 20}
+	const workers, d = 4, 0.05
+	capacity := float64(workers) / d
+	field := cfg.VectorField(workers, d, 4*capacity)
+	dq, dr := field(20, capacity)
+	if math.Abs(dq) > 1e-9 || math.Abs(dr) > 1e-9 {
+		t.Fatalf("field not zero at equilibrium: dq=%g dr=%g", dq, dr)
+	}
+	// The q >= 0 clamp: an empty queue cannot drain further.
+	dq, _ = field(0, capacity/2)
+	if dq != 0 {
+		t.Fatalf("empty queue drained: dq=%g", dq)
+	}
+}

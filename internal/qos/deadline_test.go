@@ -1,0 +1,86 @@
+package qos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestParseDeadline(t *testing.T) {
+	cases := []struct {
+		in     string
+		budget time.Duration
+		ok     bool
+		err    bool
+	}{
+		{"", 0, false, false},
+		{"250", 250 * time.Millisecond, true, false},
+		{"1", time.Millisecond, true, false},
+		{"0", 0, false, true},
+		{"-5", 0, false, true},
+		{"abc", 0, false, true},
+		{"10.5", 0, false, true},
+		{"99999999999", 0, false, true}, // > 24h
+	}
+	for _, c := range cases {
+		budget, ok, err := ParseDeadline(c.in)
+		if budget != c.budget || ok != c.ok || (err != nil) != c.err {
+			t.Fatalf("ParseDeadline(%q) = %v, %v, %v", c.in, budget, ok, err)
+		}
+	}
+}
+
+func TestFormatDeadlineRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{time.Millisecond, 250 * time.Millisecond, 3 * time.Second} {
+		got, ok, err := ParseDeadline(FormatDeadline(d))
+		if err != nil || !ok || got != d {
+			t.Fatalf("round trip %v -> %v, %v, %v", d, got, ok, err)
+		}
+	}
+	// Sub-millisecond budgets stay positive on the wire.
+	if FormatDeadline(100*time.Microsecond) != "1" {
+		t.Fatalf("tiny budget rendered %q", FormatDeadline(100*time.Microsecond))
+	}
+}
+
+func TestForwardAndDoomed(t *testing.T) {
+	if got := Forward(100*time.Millisecond, 25*time.Millisecond); got != 75*time.Millisecond {
+		t.Fatalf("Forward = %v", got)
+	}
+	if !Doomed(20*time.Millisecond, 25*time.Millisecond) {
+		t.Fatal("20ms budget with 25ms margin should be doomed")
+	}
+	if Doomed(100*time.Millisecond, 25*time.Millisecond) {
+		t.Fatal("100ms budget should not be doomed")
+	}
+	// Zero margin falls back to the default.
+	if !Doomed(DefaultHopMargin, 0) {
+		t.Fatal("budget equal to default margin should be doomed")
+	}
+}
+
+func TestWithBudgetNeverExtendsParent(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	ctx, cancel2 := WithBudget(parent, time.Hour)
+	defer cancel2()
+	dl, ok := ctx.Deadline()
+	if !ok || time.Until(dl) > time.Second {
+		t.Fatalf("budget extended the parent deadline: %v", dl)
+	}
+}
+
+func TestWithBudgetTightensLooseParent(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok || time.Until(dl) > 60*time.Millisecond {
+		t.Fatalf("budget not applied: %v %v", dl, ok)
+	}
+	if got, ok := Remaining(ctx); !ok || got <= 0 || got > 50*time.Millisecond {
+		t.Fatalf("Remaining = %v, %v", got, ok)
+	}
+	if _, ok := Remaining(context.Background()); ok {
+		t.Fatal("Remaining on deadline-free context")
+	}
+}

@@ -1,0 +1,169 @@
+package qos
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+)
+
+// FairQueue grants a fixed pool of worker slots to tenants by
+// start-time fair queueing: each request is stamped with a virtual
+// finish time vfinish = max(globalVirtual, tenantLastFinish) +
+// cost/weight, and freed slots go to the smallest vfinish. A tenant
+// flooding the queue only advances its own virtual clock, so a light
+// tenant's next request always lands near the global virtual time and
+// jumps the flood. With one tenant this degenerates to FIFO, matching
+// the old channel-semaphore behavior.
+type FairQueue struct {
+	mu         sync.Mutex
+	free       int // slots not currently held
+	virt       float64
+	lastFinish map[string]float64
+	waiters    waiterHeap
+	seq        uint64 // FIFO tiebreak among equal vfinish
+}
+
+type waiter struct {
+	tenant  string
+	vfinish float64
+	seq     uint64
+	ready   chan struct{}
+	index   int  // heap index, -1 once popped
+	granted bool // set under FairQueue.mu before close(ready)
+}
+
+// NewFairQueue builds a queue over the given slot count.
+func NewFairQueue(slots int) *FairQueue {
+	if slots <= 0 {
+		slots = 1
+	}
+	return &FairQueue{free: slots, lastFinish: make(map[string]float64)}
+}
+
+// Acquire blocks until the tenant is granted a worker slot or ctx is
+// done. weight scales the tenant's service share (class weight × tenant
+// weight); a non-positive weight counts as 1. Every successful Acquire
+// must be paired with Release.
+func (f *FairQueue) Acquire(ctx context.Context, tenant string, weight float64) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	f.mu.Lock()
+	// Fast path: a free slot and nobody ahead of us.
+	if f.free > 0 && f.waiters.Len() == 0 {
+		f.free--
+		f.stampLocked(tenant, weight)
+		f.mu.Unlock()
+		return nil
+	}
+	w := &waiter{
+		tenant:  tenant,
+		vfinish: f.vfinishLocked(tenant, weight),
+		seq:     f.seq,
+		ready:   make(chan struct{}),
+	}
+	f.seq++
+	// Chain the tenant's tag at arrival: its next request starts after
+	// this one's virtual finish, so a backlog only pushes the same
+	// tenant's own tags out, never another tenant's.
+	f.lastFinish[tenant] = w.vfinish
+	heap.Push(&f.waiters, w)
+	f.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		if w.granted {
+			// Lost the race: the slot was already handed to us. Put it
+			// back so it is not leaked.
+			f.releaseLocked()
+			f.mu.Unlock()
+			return ctx.Err()
+		}
+		if w.index >= 0 {
+			heap.Remove(&f.waiters, w.index)
+		}
+		f.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot to the pool, granting the next waiter if any.
+func (f *FairQueue) Release() {
+	f.mu.Lock()
+	f.releaseLocked()
+	f.mu.Unlock()
+}
+
+func (f *FairQueue) releaseLocked() {
+	if f.waiters.Len() == 0 {
+		f.free++
+		return
+	}
+	w := heap.Pop(&f.waiters).(*waiter)
+	// Advance the virtual clock to the granted request's finish tag.
+	// The tenant's own chain was already advanced at arrival; touching
+	// it here would rewind tags of requests queued since.
+	if w.vfinish > f.virt {
+		f.virt = w.vfinish
+	}
+	w.granted = true
+	close(w.ready)
+}
+
+// stampLocked advances the clocks for an immediately-granted request.
+func (f *FairQueue) stampLocked(tenant string, weight float64) {
+	vf := f.vfinishLocked(tenant, weight)
+	if vf > f.virt {
+		f.virt = vf
+	}
+	f.lastFinish[tenant] = vf
+}
+
+// vfinishLocked computes the virtual finish tag of a new request.
+func (f *FairQueue) vfinishLocked(tenant string, weight float64) float64 {
+	vstart := f.virt
+	if lf, ok := f.lastFinish[tenant]; ok && lf > vstart {
+		vstart = lf
+	}
+	return vstart + 1/weight
+}
+
+// Waiting reports how many requests are queued for a slot.
+func (f *FairQueue) Waiting() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waiters.Len()
+}
+
+// waiterHeap orders by (vfinish, seq).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].vfinish != h[j].vfinish {
+		return h[i].vfinish < h[j].vfinish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}

@@ -1,0 +1,168 @@
+package qos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// enqueueWaiter spawns a goroutine that acquires, reports its tenant on
+// grant, waits for leave, then releases. It blocks until the waiter is
+// actually queued so test enqueue order is deterministic.
+func enqueueWaiter(t *testing.T, f *FairQueue, tenant string, weight float64, granted chan<- string, leave <-chan struct{}) {
+	t.Helper()
+	before := f.Waiting()
+	go func() {
+		if err := f.Acquire(context.Background(), tenant, weight); err != nil {
+			return
+		}
+		granted <- tenant
+		<-leave
+		f.Release()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Waiting() <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter for %s never queued", tenant)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func drainGrants(t *testing.T, f *FairQueue, granted <-chan string, leave chan<- struct{}, n int) []string {
+	t.Helper()
+	var order []string
+	for i := 0; i < n; i++ {
+		select {
+		case tn := <-granted:
+			order = append(order, tn)
+			leave <- struct{}{}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("grant %d never arrived; order so far %v", i, order)
+		}
+	}
+	return order
+}
+
+func TestFairQueueInterleavesEqualTenants(t *testing.T) {
+	f := NewFairQueue(1)
+	if err := f.Acquire(context.Background(), "holder", 1); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan string)
+	leave := make(chan struct{})
+	// Tenant a floods first; b arrives after. SFQ must interleave.
+	for i := 0; i < 5; i++ {
+		enqueueWaiter(t, f, "a", 1, granted, leave)
+	}
+	for i := 0; i < 5; i++ {
+		enqueueWaiter(t, f, "b", 1, granted, leave)
+	}
+	f.Release() // free the held slot; grants begin
+	order := drainGrants(t, f, granted, leave, 10)
+
+	// b's first grant must land within the first three grants — it is
+	// not stuck behind a's whole flood.
+	firstB := -1
+	for i, tn := range order {
+		if tn == "b" {
+			firstB = i
+			break
+		}
+	}
+	if firstB < 0 || firstB > 2 {
+		t.Fatalf("tenant b starved: order %v", order)
+	}
+	// Over the first 8 grants the split is near even.
+	countA := 0
+	for _, tn := range order[:8] {
+		if tn == "a" {
+			countA++
+		}
+	}
+	if countA < 3 || countA > 5 {
+		t.Fatalf("unfair split in %v", order)
+	}
+}
+
+func TestFairQueueHonorsWeights(t *testing.T) {
+	f := NewFairQueue(1)
+	if err := f.Acquire(context.Background(), "holder", 1); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan string)
+	leave := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		enqueueWaiter(t, f, "light", 1, granted, leave)
+	}
+	for i := 0; i < 8; i++ {
+		enqueueWaiter(t, f, "heavy", 4, granted, leave)
+	}
+	f.Release()
+	order := drainGrants(t, f, granted, leave, 16)
+	// In the first 10 grants, heavy (weight 4) should get roughly 4x
+	// light's share.
+	heavy := 0
+	for _, tn := range order[:10] {
+		if tn == "heavy" {
+			heavy++
+		}
+	}
+	if heavy < 6 {
+		t.Fatalf("weight-4 tenant got only %d of first 10 grants: %v", heavy, order)
+	}
+}
+
+func TestFairQueueSingleTenantIsFIFOAndWorkConserving(t *testing.T) {
+	f := NewFairQueue(2)
+	ctx := context.Background()
+	// Both slots grant immediately.
+	for i := 0; i < 2; i++ {
+		if err := f.Acquire(ctx, "solo", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Acquire(ctx, "solo", 1) }()
+	select {
+	case <-done:
+		t.Fatal("third acquire granted with no free slot")
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("release did not grant the waiter")
+	}
+}
+
+func TestFairQueueAcquireCancellation(t *testing.T) {
+	f := NewFairQueue(1)
+	if err := f.Acquire(context.Background(), "holder", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- f.Acquire(ctx, "w", 1) }()
+	for f.Waiting() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	if f.Waiting() != 0 {
+		t.Fatalf("cancelled waiter still queued")
+	}
+	// The slot is not leaked: release and re-acquire works.
+	f.Release()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := f.Acquire(ctx2, "w2", 1); err != nil {
+		t.Fatalf("slot leaked: %v", err)
+	}
+}

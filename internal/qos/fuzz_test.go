@@ -1,0 +1,72 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseHeaders fuzzes the three header parsers on the admission hot
+// path. They run on every request before any authentication, so they
+// must never panic and must reject anything outside the grammar.
+func FuzzParseHeaders(f *testing.F) {
+	f.Add("", "", "")
+	f.Add("acme", "standard", "250")
+	f.Add("team-7.prod_x", "interactive", "1")
+	f.Add(strings.Repeat("a", 64), "batch", "86400000")
+	f.Add(strings.Repeat("a", 65), "gold", "-1")
+	f.Add("bad tenant", "INTERACTIVE", "10.5")
+	f.Add("h\x00llo", "batch\n", "99999999999999999999")
+	f.Add("\xff\xfe", " ", "0x10")
+	f.Fuzz(func(t *testing.T, tenant, class, deadline string) {
+		got, err := ParseTenant(tenant)
+		if err == nil {
+			if got == "" {
+				t.Fatalf("ParseTenant(%q) accepted empty result", tenant)
+			}
+			if len(got) > 64 {
+				t.Fatalf("ParseTenant(%q) produced overlong key %q", tenant, got)
+			}
+			// Accepted keys are fixed points: re-parsing yields the same.
+			again, err2 := ParseTenant(got)
+			if err2 != nil || again != got {
+				t.Fatalf("ParseTenant not idempotent: %q -> %q -> %q, %v", tenant, got, again, err2)
+			}
+			// Accepted keys are header-safe tokens.
+			for i := 0; i < len(got); i++ {
+				c := got[i]
+				ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-'
+				if !ok {
+					t.Fatalf("ParseTenant(%q) passed unsafe byte %q", tenant, c)
+				}
+			}
+		}
+
+		name, weight, err := ParseClass(class)
+		if err == nil {
+			if weight <= 0 {
+				t.Fatalf("ParseClass(%q) gave non-positive weight %v", class, weight)
+			}
+			switch name {
+			case ClassInteractive, ClassStandard, ClassBatch:
+			default:
+				t.Fatalf("ParseClass(%q) invented class %q", class, name)
+			}
+		}
+
+		budget, ok, err := ParseDeadline(deadline)
+		if err == nil && ok {
+			if budget <= 0 || budget > 24*time.Hour {
+				t.Fatalf("ParseDeadline(%q) out of range: %v", deadline, budget)
+			}
+			// Budgets round-trip through the wire format within 1ms.
+			back, ok2, err2 := ParseDeadline(FormatDeadline(budget))
+			if err2 != nil || !ok2 || back != budget.Truncate(time.Millisecond) {
+				t.Fatalf("deadline round trip %q -> %v -> %v, %v, %v", deadline, budget, back, ok2, err2)
+			}
+		}
+		if err == nil && !ok && deadline != "" {
+			t.Fatalf("ParseDeadline(%q) = no deadline without error", deadline)
+		}
+	})
+}

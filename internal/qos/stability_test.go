@@ -1,0 +1,109 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bcnphase/internal/phaseplane"
+)
+
+// The self-hosting stability test: the admission controller's own
+// closed-loop (queue, rate) dynamics are handed to the repo's
+// phase-plane return-map tooling — the same machinery that proves the
+// paper's BCN gain plane — and must spiral into equilibrium rather
+// than limit-cycle.
+//
+// Setup: 4 workers at 50ms/job (capacity C = 80 jobs/s), offered load
+// 4C, default gains alpha=0.4 beta=0.2 (inside the spiral region
+// alpha^2 < 4*beta). Section: q = q0, parameterized by the rate
+// perturbation s = R - C. Linear theory predicts period
+// 2*pi*d/sqrt(beta) ~ 0.70s and per-return contraction
+// exp(-alpha*pi/(d*omega)) ~ 0.06.
+func returnMapUnderOverload(t *testing.T) (*phaseplane.ReturnMap, float64, float64) {
+	t.Helper()
+	const (
+		workers = 4
+		d       = 0.05
+		q0      = 20.0
+	)
+	capacity := float64(workers) / d
+	cfg := ControllerConfig{QueueTarget: q0}
+	field := cfg.VectorField(workers, d, 4*capacity)
+	m := &phaseplane.ReturnMap{
+		Field:   phaseplane.VectorField(field),
+		Sigma:   func(q, _ float64) float64 { return q - q0 },
+		Embed:   func(s float64) (float64, float64) { return q0, capacity + s },
+		Project: func(_, r float64) float64 { return r - capacity },
+		Horizon: 5,
+	}
+	return m, q0, capacity
+}
+
+func TestAdmissionLoopSpiralsIntoEquilibrium(t *testing.T) {
+	m, _, _ := returnMapUnderOverload(t)
+
+	// Contraction at every tested amplitude: one revolution strictly
+	// shrinks the rate perturbation. That the map returns at all proves
+	// rotation (a non-spiraling node never recrosses the section in the
+	// same direction within the horizon).
+	for _, s := range []float64{5, 20, 40, 80} {
+		next, period, err := m.Map(s)
+		if err != nil {
+			t.Fatalf("Map(%v): %v", s, err)
+		}
+		if math.Abs(next) >= math.Abs(s) {
+			t.Fatalf("no contraction at s=%v: |P(s)|=%v", s, math.Abs(next))
+		}
+		// Sanity: the revolution period is near the linear prediction
+		// 2*pi*d/sqrt(beta) ~ 0.70s (the clamp and min() kinks bend it,
+		// so only an order-of-magnitude band).
+		if period < 0.1 || period > 3 {
+			t.Fatalf("return period %v s implausible at s=%v", period, s)
+		}
+	}
+
+	// Iterating the map decays toward the equilibrium: after 6 returns a
+	// 40 jobs/s perturbation is below 2% of its start.
+	orbit, err := m.Iterate(40, 6)
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	final := math.Abs(orbit[len(orbit)-1])
+	if final > 0.02*40 {
+		t.Fatalf("orbit did not spiral in: %v", orbit)
+	}
+	for i := 1; i < len(orbit); i++ {
+		if math.Abs(orbit[i]) >= math.Abs(orbit[i-1]) {
+			t.Fatalf("orbit amplitude grew at step %d: %v", i, orbit)
+		}
+	}
+}
+
+func TestAdmissionLoopHasNoLimitCycle(t *testing.T) {
+	m, _, _ := returnMapUnderOverload(t)
+	// A limit cycle would be a nontrivial fixed point of the return map.
+	// Scanning well past the operating range must bracket none.
+	if s, err := m.FixedPoint(2, 100, 16); !errors.Is(err, phaseplane.ErrNoFixedPoint) {
+		t.Fatalf("expected ErrNoFixedPoint, got s*=%v err=%v", s, err)
+	}
+}
+
+func TestAdmissionLoopEquilibriumIsAttracting(t *testing.T) {
+	m, _, _ := returnMapUnderOverload(t)
+	// The return-map derivative near the trivial fixed point s=0 is the
+	// Floquet multiplier of the equilibrium; |P'| < 1 means attracting.
+	// Linear theory: exp(-alpha*pi/(d*omega)) with omega = sqrt(beta)/d,
+	// i.e. exp(-pi*alpha/sqrt(beta)) ~ 0.06.
+	deriv, err := m.Stability(0, 2)
+	if err != nil {
+		t.Fatalf("Stability: %v", err)
+	}
+	if math.Abs(deriv) >= 1 {
+		t.Fatalf("equilibrium not attracting: P'(0) = %v", deriv)
+	}
+	want := math.Exp(-math.Pi * DefaultAlpha / math.Sqrt(DefaultBeta))
+	if math.Abs(deriv-want) > 0.15 {
+		t.Fatalf("multiplier %v far from linear prediction %v", deriv, want)
+	}
+}

@@ -7,12 +7,23 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 )
+
+// ErrStorageDegraded marks a journal whose backing file failed a write
+// or fsync (ENOSPC, EIO, a yanked volume). The condition is terminal
+// for the journal: once an append cannot be made durable, later appends
+// cannot be trusted either — a later fsync succeeding says nothing
+// about the earlier lost line — so every subsequent Record fails fast
+// wrapping this sentinel. Lookup keeps serving the replayed and
+// successfully-recorded state. Callers (the serving tier's brownout
+// ladder) detect it with errors.Is and fall back to volatile caching.
+var ErrStorageDegraded = errors.New("runstate: journal storage degraded")
 
 // JournalFileName is the journal's file name inside a run directory.
 const JournalFileName = "journal.jsonl"
@@ -66,11 +77,12 @@ func decodeRecord(line []byte) (record, error) {
 // is any line whose checksum does not match. Later records for the same
 // key supersede earlier ones.
 type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	entries map[string]json.RawMessage
-	dropped int
-	path    string
+	mu       sync.Mutex
+	f        *os.File
+	entries  map[string]json.RawMessage
+	dropped  int
+	path     string
+	degraded error // first write/sync failure; sticky (see ErrStorageDegraded)
 }
 
 // OpenJournal opens (creating if absent) the journal at path and replays
@@ -148,14 +160,29 @@ func (j *Journal) Record(key string, val []byte) error {
 	if j.f == nil {
 		return fmt.Errorf("runstate: journal %s is closed", j.path)
 	}
+	if j.degraded != nil {
+		return fmt.Errorf("%w: %s", ErrStorageDegraded, j.degraded)
+	}
 	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("runstate: append journal: %w", err)
+		j.degraded = err
+		return fmt.Errorf("%w: append: %s", ErrStorageDegraded, err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("runstate: sync journal: %w", err)
+		// The line may or may not have reached the platter; either way
+		// durability can no longer be promised for it or anything after.
+		j.degraded = err
+		return fmt.Errorf("%w: sync: %s", ErrStorageDegraded, err)
 	}
 	j.entries[key] = append(json.RawMessage(nil), val...)
 	return nil
+}
+
+// Degraded reports whether a write or fsync has failed, making the
+// journal terminally non-durable, along with the first failure.
+func (j *Journal) Degraded() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded != nil, j.degraded
 }
 
 // Keys lists the distinct journaled keys in unspecified order. Replay

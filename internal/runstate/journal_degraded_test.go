@@ -1,0 +1,54 @@
+package runstate
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalDegradedIsSticky injects a write failure (the file
+// descriptor is closed out from under the journal, the same failure
+// shape as ENOSPC or a yanked volume) and checks the journal enters the
+// terminal storage-degraded state: the failing Record and every later
+// one wrap ErrStorageDegraded, while Lookup keeps serving everything
+// recorded before the failure.
+func TestJournalDegradedIsSticky(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), JournalFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("k1", []byte(`{"ok":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := j.Degraded(); deg {
+		t.Fatal("healthy journal reports degraded")
+	}
+
+	// Inject the storage failure.
+	j.mu.Lock()
+	j.f.Close()
+	j.mu.Unlock()
+
+	err = j.Record("k2", []byte(`{"ok":2}`))
+	if !errors.Is(err, ErrStorageDegraded) {
+		t.Fatalf("failing Record returned %v, want ErrStorageDegraded", err)
+	}
+	// Sticky: the next Record fails fast the same way even though no new
+	// I/O was attempted.
+	if err := j.Record("k3", []byte(`{"ok":3}`)); !errors.Is(err, ErrStorageDegraded) {
+		t.Fatalf("post-failure Record returned %v, want ErrStorageDegraded", err)
+	}
+	if deg, cause := j.Degraded(); !deg || cause == nil {
+		t.Fatalf("Degraded() = %v, %v", deg, cause)
+	}
+	// Reads still serve the pre-failure state.
+	if v, ok := j.Lookup("k1"); !ok || string(v) != `{"ok":1}` {
+		t.Fatalf("Lookup after degradation = %q, %v", v, ok)
+	}
+	// The failed record was not admitted to the in-memory map: a reader
+	// must never see bytes that were not made durable.
+	if _, ok := j.Lookup("k2"); ok {
+		t.Fatal("non-durable record visible via Lookup")
+	}
+}

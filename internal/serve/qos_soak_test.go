@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"bcnphase/internal/qos"
+)
+
+// soakSlowBase marks soak jobs for the exec hook: every solve whose
+// MaxArcs carries the base gets a fixed service time, so the soak has a
+// known capacity (Workers / serviceTime) to overload against.
+const soakSlowBase = 500000
+
+// TestOverloadSoak is the QoS gating soak: four tenants — one of them
+// greedy, posting with 4x the client concurrency — overload a small
+// QoS-enabled server with unique jobs (no dedup relief) for a fixed
+// wall-clock window while the control loop ticks. The invariants:
+//
+//   - Zero accepted-job losses: the server's own ledger balances
+//     (accepted == completed, nothing failed or killed) and every 200
+//     body is a fully-populated artifact.
+//   - Per-tenant fairness: no tenant's completed-job throughput falls
+//     below its fair share divided by 1.5, despite the greedy tenant
+//     offering 4x the load.
+//   - Every shed is explicit: only 429/503 with a Reason ever comes
+//     back; nothing times out or drops.
+//   - The qos_* accounting is internally consistent (per-tenant admits
+//     sum to the global admit counter; the control loop ticked).
+func TestOverloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped with -short")
+	}
+	checkGoroutines(t)
+	setExecHook(t, func(sp Spec) {
+		if sp.Kind == KindSolve && sp.Solve != nil && sp.Solve.MaxArcs >= soakSlowBase {
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+
+	s, ts := newTestServer(t, Config{
+		Workers:  4,
+		QueueCap: 16,
+		QoS: &qos.Config{
+			TickInterval: -1, // ticked from the loop below
+			Brownout:     qos.BrownoutConfig{MaxGoroutines: -1},
+		},
+	})
+	t.Cleanup(s.Close)
+
+	// Control loop at a 5ms cadence for the whole soak.
+	tickStop := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		tk := time.NewTicker(5 * time.Millisecond)
+		defer tk.Stop()
+		for {
+			select {
+			case <-tickStop:
+				return
+			case <-tk.C:
+				s.qosTick()
+			}
+		}
+	}()
+
+	// Tenants and their client concurrency: "greedy" offers 4x.
+	clients := map[string]int{"greedy": 8, "t1": 2, "t2": 2, "t3": 2}
+	const soakFor = 2 * time.Second
+
+	type ledger struct {
+		ok, shed429, shed503, other int
+		badArtifacts                int
+	}
+	results := make(map[string]*ledger, len(clients))
+	for tenant := range clients {
+		results[tenant] = &ledger{}
+	}
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(soakFor)
+	var uniq int64
+	var uniqMu sync.Mutex
+	nextSpec := func() []byte {
+		uniqMu.Lock()
+		uniq++
+		n := uniq
+		uniqMu.Unlock()
+		sp := solveSpec()
+		sp.Solve.MaxArcs = soakSlowBase + int(n)
+		b, _ := json.Marshal(sp)
+		return b
+	}
+
+	for tenant, n := range clients {
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				led := ledger{}
+				for time.Now().Before(stopAt) {
+					resp, err := postTenant(ts.URL, tenant, nextSpec())
+					if err != nil {
+						led.other++
+						continue
+					}
+					switch resp.StatusCode {
+					case http.StatusOK:
+						led.ok++
+						var art Artifact
+						if err := json.NewDecoder(resp.Body).Decode(&art); err != nil || art.Solve == nil || art.Solve.Outcome == "" {
+							led.badArtifacts++
+						}
+					case http.StatusTooManyRequests:
+						led.shed429++
+					case http.StatusServiceUnavailable:
+						led.shed503++
+					default:
+						led.other++
+					}
+					resp.Body.Close()
+				}
+				mu.Lock()
+				r := results[tenant]
+				r.ok += led.ok
+				r.shed429 += led.shed429
+				r.shed503 += led.shed503
+				r.other += led.other
+				r.badArtifacts += led.badArtifacts
+				mu.Unlock()
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	close(tickStop)
+	<-tickDone
+
+	// Ledger balance: everything the server accepted, it completed.
+	st := s.StatusSnapshot()
+	if st.Failed != 0 || st.Killed != 0 {
+		t.Errorf("accepted-job losses: failed=%d killed=%d", st.Failed, st.Killed)
+	}
+	if st.Accepted != st.Completed {
+		t.Errorf("ledger imbalance: accepted=%d completed=%d", st.Accepted, st.Completed)
+	}
+
+	total := 0
+	for tenant, r := range results {
+		t.Logf("tenant %-6s ok=%-5d 429=%-5d 503=%-5d other=%d", tenant, r.ok, r.shed429, r.shed503, r.other)
+		if r.other != 0 {
+			t.Errorf("tenant %s: %d responses outside {200,429,503}", tenant, r.other)
+		}
+		if r.badArtifacts != 0 {
+			t.Errorf("tenant %s: %d malformed artifacts on 200s", tenant, r.badArtifacts)
+		}
+		if r.ok == 0 {
+			t.Errorf("tenant %s: starved (zero completions)", tenant)
+		}
+		total += r.ok
+	}
+
+	// Fairness: with the weighted fair queue interleaving tenants at the
+	// worker slots, no tenant may fall below fair-share/1.5 even though
+	// one tenant offers 4x the load.
+	fair := float64(total) / float64(len(clients))
+	for tenant, r := range results {
+		if float64(r.ok) < fair/1.5 {
+			t.Errorf("tenant %s: %d completions, below fair share %.0f / 1.5", tenant, r.ok, fair)
+		}
+	}
+
+	// The qos_* accounting is consistent with itself.
+	if st.QoS == nil {
+		t.Fatal("missing qos status block")
+	}
+	var tenantSum uint64
+	for _, n := range st.QoS.TenantAdmitted {
+		tenantSum += n
+	}
+	if got := s.qos.metrics.Admitted.Value(); got != tenantSum {
+		t.Errorf("qos_admitted=%d but per-tenant admits sum to %d", got, tenantSum)
+	}
+	if s.qos.metrics.Ticks.Value() == 0 {
+		t.Error("control loop never ticked during soak")
+	}
+	if st.QoS.AdvertisedRate <= 0 {
+		t.Errorf("advertised rate %.2f after soak", st.QoS.AdvertisedRate)
+	}
+}
+
+// postTenant posts body as tenant without testing.T plumbing (soak
+// client goroutines must not call t helpers).
+func postTenant(url, tenant string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(qos.TenantHeader, tenant)
+	return http.DefaultClient.Do(req)
+}

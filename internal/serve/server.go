@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bcnphase/internal/invariant"
+	"bcnphase/internal/qos"
 	"bcnphase/internal/sweep"
 	"bcnphase/internal/telemetry"
 )
@@ -103,6 +104,13 @@ type Config struct {
 	// (accept, finish, shed, breaker reject), each carrying the request
 	// ID echoed in the X-Request-ID response header.
 	Log io.Writer
+	// QoS, when non-nil, enables the closed-loop overload-protection
+	// layer (internal/qos): RCP-style adaptive admission with
+	// Bcn-Advertised-Rate feedback, the brownout ladder, per-tenant
+	// weighted fair queueing, deadline propagation, and the byte-bounded
+	// artifact cache in front of Cache. Nil keeps the PR-4 static-shed
+	// path byte-for-byte unchanged.
+	QoS *qos.Config
 }
 
 // Server is the supervised job service. Create with New, mount
@@ -137,6 +145,10 @@ type Server struct {
 	// (not cfg.Now) so uptime never runs backwards under a test clock.
 	startMono time.Time
 	reqSeq    atomic.Uint64
+
+	// qos is the closed-loop overload-protection state; nil when
+	// Config.QoS is nil (legacy static-shed path).
+	qos *qosState
 }
 
 // inflightJob coalesces concurrent submissions of the same spec onto
@@ -195,6 +207,15 @@ func New(cfg Config) (*Server, error) {
 	s.metrics = newServerMetrics(s.registry, s)
 	s.jobm = newJobMetrics(s.registry)
 	s.breaker.transitions = s.metrics.breakerTransitions
+	if cfg.QoS != nil {
+		s.qos = newQoSState(&cfg)
+		// The artifact cache fronts the durable store for every lookup
+		// and write-through from here on.
+		s.cache = s.qos.cache
+		if s.qos.cfg.TickInterval > 0 {
+			go s.qos.run(s)
+		}
+	}
 	return s, nil
 }
 
@@ -238,7 +259,9 @@ type errorBody struct {
 	Error string `json:"error"`
 	// Reason is a machine-readable cause: "malformed-spec", "shed",
 	// "draining", "breaker-open", "deadline", "panic", "killed",
-	// "invariant-abort", "not-found", "internal".
+	// "invariant-abort", "not-found", "internal"; with QoS also
+	// "malformed-qos-header", "deadline-doomed", "brownout",
+	// "tenant-limit", "rate-limit".
 	Reason string `json:"reason"`
 	// RetryAfterSec mirrors the Retry-After header when retrying makes
 	// sense.
@@ -353,11 +376,38 @@ func (s *Server) observeDuration(d time.Duration) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rid := s.nextRequestID()
 	w.Header().Set("X-Request-ID", rid)
+	s.stampQoSHeaders(w)
 	if s.isDraining() {
 		s.reject(w, http.StatusServiceUnavailable, time.Second, errorBody{
 			Error: "server is draining", Reason: "draining",
 		})
 		return
+	}
+	var qr *qosRequest
+	if s.qos != nil {
+		// The Drain rung admits nothing, not even cache hits: the
+		// watchdog saw heap pressure beyond what serving can tolerate.
+		if s.qos.wd.Level() >= qos.Drain {
+			s.qosShed(w, rid, "", "brownout", http.StatusServiceUnavailable,
+				s.qos.ctl.RetryAfter(), "server is in drain brownout")
+			return
+		}
+		var herr error
+		qr, herr = s.parseQoSHeaders(r)
+		if herr != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: herr.Error(), Reason: "malformed-qos-header"})
+			return
+		}
+		// A request that cannot finish inside its remaining budget is
+		// doomed: answer now, before it occupies a queue slot or worker.
+		if qr.hasDeadline && qos.Doomed(qr.budget, s.qos.cfg.HopMargin) {
+			s.qos.metrics.DeadlineDoom.Inc()
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{
+				Error:  "deadline budget cannot cover the request",
+				Reason: "deadline-doomed",
+			})
+			return
+		}
 	}
 	sp, err := DecodeSpec(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBodyBytes)
 	if err != nil {
@@ -397,6 +447,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Error:  fmt.Sprintf("parameter region %s is quarantined after repeated invariant aborts", region),
 			Reason: "breaker-open", Region: region,
 		})
+		return
+	}
+
+	// Closed-loop admission: brownout rung, tenant fair share, global
+	// advertised rate — all with explicit Retry-After feedback.
+	if s.qos != nil && !s.qosAdmit(w, rid, key, sp.Kind, qr) {
 		return
 	}
 
@@ -446,17 +502,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Wait for a worker slot; a client that disconnects while queued
-	// kills its own job, nobody else's.
-	select {
-	case s.workerSlots <- struct{}{}:
-	case <-r.Context().Done():
-		releaseQueue()
-		s.metrics.killed.Inc()
-		s.completeInflight(key, job, nil, r.Context().Err())
-		s.reject(w, http.StatusRequestTimeout, 0, errorBody{
-			Error: "client went away while queued", Reason: "killed",
-		})
-		return
+	// kills its own job, nobody else's. With QoS the wait goes through
+	// the weighted fair queue, so slot grants interleave tenants instead
+	// of following arrival order.
+	if s.qos != nil {
+		waitStart := time.Now()
+		if err := s.qos.fq.Acquire(r.Context(), qr.tenant, qr.classWeight); err != nil {
+			releaseQueue()
+			s.metrics.killed.Inc()
+			s.completeInflight(key, job, nil, err)
+			s.reject(w, http.StatusRequestTimeout, 0, errorBody{
+				Error: "client went away while queued", Reason: "killed",
+			})
+			return
+		}
+		s.qos.metrics.ObserveWait(time.Since(waitStart))
+		// The fair queue holds exactly Workers grants, so this send
+		// cannot block; the channel stays the depth gauge for /statusz.
+		s.workerSlots <- struct{}{}
+	} else {
+		select {
+		case s.workerSlots <- struct{}{}:
+		case <-r.Context().Done():
+			releaseQueue()
+			s.metrics.killed.Inc()
+			s.completeInflight(key, job, nil, r.Context().Err())
+			s.reject(w, http.StatusRequestTimeout, 0, errorBody{
+				Error: "client went away while queued", Reason: "killed",
+			})
+			return
+		}
 	}
 	releaseQueue()
 
@@ -464,11 +539,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	span.SetAttr("rid", rid)
 	span.SetAttr("kind", sp.Kind)
 	span.SetAttr("region", region)
+	execCtx := r.Context()
+	if s.qos != nil {
+		// The tenant key rides the context into downstream dispatch
+		// (cluster coordinator -> worker headers); the deadline budget —
+		// what is left of it after queueing — caps the solver context so
+		// doomed work cancels instead of running to be thrown away.
+		execCtx = qos.WithTenant(execCtx, qr.tenant)
+		if qr.hasDeadline {
+			var cancel context.CancelFunc
+			execCtx, cancel = qos.WithBudget(execCtx, qr.deadlineAt.Sub(s.now()))
+			defer cancel()
+		}
+	}
 	start := s.now()
 	wallStart := time.Now()
-	raw, execErr := s.execute(r.Context(), sp, key)
+	raw, execErr := s.execute(execCtx, sp, key)
 	wall := time.Since(wallStart)
 	<-s.workerSlots
+	if s.qos != nil {
+		s.qos.fq.Release()
+		s.qos.ctl.Completed(wall)
+	}
 	s.observeDuration(s.now().Sub(start))
 	s.metrics.jobSeconds.With(sp.Kind).Observe(wall.Seconds())
 	if execErr != nil {
@@ -480,10 +572,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if execErr == nil {
 		// Durability before acknowledgment, like the sweep checkpoint
 		// contract: an artifact the store cannot keep is a failed job,
-		// not a silently volatile success.
+		// not a silently volatile success. Under QoS a storage failure
+		// instead pins the cached-only brownout and serves the artifact
+		// from the volatile tier, explicitly marked non-durable — the
+		// computed result survives even though the journal is gone.
 		if err := s.cache.Record(key, raw); err != nil {
-			execErr = fmt.Errorf("serve: record artifact: %w", err)
-			raw = nil
+			if s.qos != nil {
+				s.qosRecordFailure(w, rid, key, raw, err)
+			} else {
+				execErr = fmt.Errorf("serve: record artifact: %w", err)
+				raw = nil
+			}
 		}
 	}
 	s.completeInflight(key, job, raw, execErr)
@@ -589,6 +688,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		})
 		return
 	}
+	if s.qos != nil {
+		if level := s.qos.wd.Level(); level >= qos.CachedOnly {
+			s.reject(w, http.StatusServiceUnavailable, s.qos.ctl.RetryAfter(), errorBody{
+				Error: "brownout level " + level.String(), Reason: "brownout",
+			})
+			return
+		}
+	}
 	if len(s.queueSlots) >= s.cfg.QueueCap {
 		s.reject(w, http.StatusServiceUnavailable, s.retryAfter(), errorBody{
 			Error: "admission queue at shed threshold", Reason: "shed",
@@ -624,6 +731,8 @@ type Status struct {
 	BreakerTrips   uint64         `json:"breaker_trips"`
 	JournalLen     int            `json:"journal_len"`
 	Breaker        []RegionStatus `json:"breaker,omitempty"`
+	// QoS is the closed-loop admission block; absent without Config.QoS.
+	QoS *QoSStatus `json:"qos,omitempty"`
 }
 
 // StatusSnapshot assembles the live Status.
@@ -651,6 +760,7 @@ func (s *Server) StatusSnapshot() Status {
 		BreakerTrips:   s.metrics.breakerTransitions.With("open").Value(),
 		JournalLen:     s.cache.Len(),
 		Breaker:        s.breaker.Snapshot(),
+		QoS:            s.qosStatus(),
 	}
 }
 

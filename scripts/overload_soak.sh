@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Overload soak for the closed-loop QoS serving tier, in two stages:
+#
+#   1. The in-process gating soak (internal/serve TestOverloadSoak)
+#      under the race detector: four tenants — one greedy at 4x every
+#      other — offered at ~4x worker capacity for a full window,
+#      asserting zero accepted-job losses, explicit 429/503 feedback on
+#      every shed request, per-tenant throughput within 1.5x of fair
+#      share, exact admission accounting, and live control-loop ticks.
+#
+#   2. A real-binary overload run against `bcnd -qos`: one greedy
+#      tenant (5 concurrent streams) and three modest tenants (1 each)
+#      hammer a 2-worker daemon with unique netsim jobs through the
+#      polite retrying client. Gates: the qos_* metric series exist and
+#      never move backwards between scrapes, QoS feedback headers are
+#      stamped, no accepted job is lost (drain summary shows
+#      accepted == completed, failed == 0), every tenant lands within
+#      1.5x of fair share, and the drain is clean (exit 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "== stage 1: in-process overload soak (race detector) =="
+go test -race -count=1 -run 'TestOverloadSoak' -v ./internal/serve | grep -v '^=== RUN'
+
+echo "== stage 2: real-binary overload against bcnd -qos =="
+go build -o "$work/bcnd" ./cmd/bcnd
+
+"$work/bcnd" -addr 127.0.0.1:0 -qos -workers 2 -queue 16 \
+    -journal "$work/journal" > "$work/d.out" 2> "$work/d.err" &
+daemon=$!
+addr=""
+for _ in $(seq 200); do
+    addr="$(sed -n 's/^bcnd: listening on //p' "$work/d.out")"
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "FAIL: daemon never bound" >&2; cat "$work/d.out" >&2; exit 1; }
+url="http://$addr"
+
+# Every submission is a unique ~180ms netsim job (the seed is the
+# distinguisher), so the artifact cache cannot short-circuit the load.
+spec() { # $1 = seed
+    printf '{"kind":"netsim","netsim":{"n":8,"capacity":1e9,"buffer_bits":4e6,"q0":5e5,"duration_sec":3,"seed":%d}}' "$1"
+}
+
+# tenant_stream posts unique jobs back to back for the window, counting
+# successes; a post that stays shed after its retries is polite loss of
+# an *unaccepted* request, not a lost job.
+WINDOW=10
+tenant_stream() { # $1 = tenant, $2 = seed base, $3 = count file
+    local ok=0 i=0 end=$((SECONDS + WINDOW)) f="$work/spec-$2.json"
+    while [ "$SECONDS" -lt "$end" ]; do
+        i=$((i + 1))
+        spec "$(($2 + i))" > "$f"
+        if "$work/bcnd" -url "$url" -post "$f" -tenant "$1" -post-retries 3 \
+            > /dev/null 2>> "$work/client-$1.err"; then
+            ok=$((ok + 1))
+        fi
+    done
+    echo "$ok" > "$3"
+}
+
+scrape() { # $1 = output file
+    curl -sf "$url/metrics" > "$1" || { echo "FAIL: /metrics scrape failed" >&2; exit 1; }
+}
+counter_value() { # $1 = metrics file, $2 = series name
+    awk -v name="$2" '$1 == name { print $2; found=1 } END { if (!found) print 0 }' "$1"
+}
+assert_monotonic() { # $1 = before, $2 = after, $3 = series
+    local before after
+    before="$(counter_value "$1" "$3")"
+    after="$(counter_value "$2" "$3")"
+    awk -v b="$before" -v a="$after" 'BEGIN { exit (a >= b) ? 0 : 1 }' || {
+        echo "FAIL: $3 went backwards: $before -> $after" >&2
+        exit 1
+    }
+}
+
+# One greedy tenant with 5 concurrent streams vs three modest tenants
+# with one each: 8 closed-loop streams on 2 workers is ~4x capacity.
+pids=()
+for s in 1 2 3 4 5; do
+    tenant_stream greedy $((s * 100000)) "$work/ok-greedy-$s" & pids+=($!)
+done
+for tnt in t1 t2 t3; do
+    tenant_stream "$tnt" $(( $(echo "$tnt" | tr -d t) * 1000000 )) "$work/ok-$tnt" & pids+=($!)
+done
+
+sleep 2
+scrape "$work/m1.txt"
+# The QoS series the operator dashboards key on must all be exported.
+for series in \
+    '# TYPE qos_admitted_total counter' \
+    '# TYPE qos_shed_total counter' \
+    '# TYPE qos_advertised_rate gauge' \
+    '# TYPE qos_brownout_level gauge' \
+    '# TYPE qos_fair_wait_seconds histogram' \
+    'qos_capacity_estimate' \
+    'qos_ticks_total'; do
+    grep -q "^${series}" "$work/m1.txt" || {
+        echo "FAIL: /metrics missing series: $series" >&2
+        exit 1
+    }
+done
+# Mid-overload, responses carry the explicit feedback headers.
+curl -sf -D "$work/hdr.txt" -o /dev/null "$url/statusz"
+scrape "$work/m2.txt"
+for series in qos_admitted_total serve_accepted_total serve_completed_total serve_failed_total qos_ticks_total; do
+    assert_monotonic "$work/m1.txt" "$work/m2.txt" "$series"
+done
+
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+greedy_ok=0
+for s in 1 2 3 4 5; do
+    greedy_ok=$((greedy_ok + $(cat "$work/ok-greedy-$s")))
+done
+t1_ok="$(cat "$work/ok-t1")"; t2_ok="$(cat "$work/ok-t2")"; t3_ok="$(cat "$work/ok-t3")"
+total=$((greedy_ok + t1_ok + t2_ok + t3_ok))
+min_ok="$greedy_ok"
+for v in "$t1_ok" "$t2_ok" "$t3_ok"; do
+    [ "$v" -lt "$min_ok" ] && min_ok="$v"
+done
+echo "completions: greedy=$greedy_ok t1=$t1_ok t2=$t2_ok t3=$t3_ok (total=$total)"
+[ "$total" -ge 20 ] || { echo "FAIL: only $total jobs completed; the soak never loaded the server" >&2; exit 1; }
+# Fairness gate: every tenant within 1.5x of its 1/4 fair share, i.e.
+# min_ok >= (total/4)/1.5  <=>  6*min_ok >= total.
+[ $((min_ok * 6)) -ge "$total" ] || {
+    echo "FAIL: starved tenant: min=$min_ok vs fair-share floor $((total / 6)) (total=$total)" >&2
+    exit 1
+}
+
+# Drain: zero accepted-job losses means the summary shows every
+# accepted job completed and none failed.
+kill -TERM "$daemon"
+set +e
+wait "$daemon"; dstatus=$?
+set -e
+[ "$dstatus" -eq 0 ] || {
+    echo "FAIL: drain exited $dstatus, want 0" >&2
+    cat "$work/d.out" >&2
+    exit 1
+}
+summary="$(grep 'drained cleanly' "$work/d.out")" || {
+    echo "FAIL: no drain summary" >&2; cat "$work/d.out" >&2; exit 1
+}
+accepted="$(echo "$summary" | sed -n 's/.*accepted=\([0-9]*\).*/\1/p')"
+completed="$(echo "$summary" | sed -n 's/.*completed=\([0-9]*\).*/\1/p')"
+failed="$(echo "$summary" | sed -n 's/.*failed=\([0-9]*\).*/\1/p')"
+[ "$accepted" = "$completed" ] && [ "$failed" = "0" ] || {
+    echo "FAIL: accepted-job loss: $summary" >&2
+    exit 1
+}
+[ "$accepted" -ge "$total" ] || {
+    echo "FAIL: daemon accepted $accepted but clients counted $total successes" >&2
+    exit 1
+}
+echo "PASS: overload soak — zero accepted-job losses ($accepted/$accepted), fairness held (min=$min_ok of $total), qos_* series monotonic"
