@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds fuzz-short metamorphic check bench smoke-resume soak soak-cluster soak-chaos soak-overload clean
+.PHONY: all build test vet race fuzz-seeds fuzz-short metamorphic check bench smoke-resume soak soak-cluster soak-chaos soak-overload soak-failover clean
 
 all: check
 
@@ -69,6 +69,15 @@ soak-cluster:
 # map byte-identical to a clean run, under the race detector.
 soak-chaos:
 	./scripts/chaos_soak.sh
+
+# Coordinator failover soak: the in-process HA election/replication
+# test under the race detector, then a real-process replica group
+# (3 bcnd HA coordinators over 3 workers behind partitionable chaos
+# proxies) with a kill -9 of the leader mid-sweep and a network
+# partition of its successor — gating on a byte-identical merged map,
+# a pure journal replay on resubmit, and a single surviving leader.
+soak-failover:
+	./scripts/failover_soak.sh
 
 # Overload soak for the closed-loop QoS tier: the in-process gating
 # soak (4x offered load, one greedy tenant) under the race detector,

@@ -116,6 +116,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		hbInterval   = fs.Duration("heartbeat-interval", time.Second, "coordinator mode: worker /statusz probe interval")
 		maxSweeps    = fs.Int("max-sweeps", 2, "coordinator mode: concurrent sweeps before submissions are shed")
 		auditFrac    = fs.Float64("audit-fraction", 0, "coordinator mode: fraction of completed shards re-executed on a second worker and compared bit-exactly (0 disables auditing, 1 audits everything)")
+		peers        = fs.String("peers", "", "coordinator HA: comma-separated base URLs of the other coordinator replicas; enables lease-based leader election, journal replication and failover")
+		selfURL      = fs.String("self", "", "coordinator HA: this replica's advertised base URL (required with -peers)")
+		leaseTTL     = fs.Duration("lease-ttl", 3*time.Second, "coordinator HA: leadership lease TTL granted by the worker witnesses")
 
 		// Closed-loop QoS (server mode; see internal/qos).
 		qosOn      = fs.Bool("qos", false, "server mode: enable the closed-loop QoS layer — adaptive admission, brownout ladder, per-tenant fairness, deadline propagation, artifact cache")
@@ -148,7 +151,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			shardSize: *shardSize, leaseTimeout: *leaseTimeout,
 			hbInterval: *hbInterval, maxSweeps: *maxSweeps,
 			drainTimeout: *drainTimeout, auditFraction: *auditFrac,
+			peers: *peers, self: *selfURL, leaseTTL: *leaseTTL,
 		}, out)
+	}
+	if *peers != "" || *selfURL != "" {
+		return fmt.Errorf("-peers and -self are coordinator HA flags; add -coordinator")
 	}
 
 	poolWorkers := 0
@@ -414,25 +421,46 @@ type coordOptions struct {
 	maxSweeps     int
 	drainTimeout  time.Duration
 	auditFraction float64
+	// HA replica options: -peers turns the coordinator into one replica
+	// of a highly-available group (see DESIGN.md §5i).
+	peers    string
+	self     string
+	leaseTTL time.Duration
+}
+
+// parseURLList splits a comma-separated base-URL list, trimming
+// whitespace and trailing slashes and rejecting non-http(s) entries.
+func parseURLList(flagName, raw string) ([]string, error) {
+	var urls []string
+	for _, u := range strings.Split(raw, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	for _, u := range urls {
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("%s: %q is not an http(s) base URL", flagName, u)
+		}
+	}
+	return urls, nil
 }
 
 // runCoordinator serves the cluster coordinator until a signal drains
 // it. The journal (when configured) makes sweeps crash-safe: a restart
 // replays every journaled point and re-executes only what is missing.
 func runCoordinator(ctx context.Context, opt coordOptions, out io.Writer) error {
-	var urls []string
-	for _, u := range strings.Split(opt.workers, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, strings.TrimRight(u, "/"))
-		}
+	urls, err := parseURLList("-workers", opt.workers)
+	if err != nil {
+		return err
 	}
 	if len(urls) == 0 {
 		return fmt.Errorf("-coordinator needs -workers with at least one worker base URL")
 	}
-	for _, u := range urls {
-		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
-			return fmt.Errorf("-workers: %q is not an http(s) base URL", u)
-		}
+	if opt.peers != "" {
+		return runHACoordinator(ctx, opt, urls, out)
+	}
+	if opt.self != "" {
+		return fmt.Errorf("-self only applies with -peers (coordinator HA)")
 	}
 	ccfg := cluster.Config{
 		Workers:           urls,
@@ -501,6 +529,96 @@ func runCoordinator(ctx context.Context, opt coordOptions, out io.Writer) error 
 		return fmt.Errorf("%w: shutdown: %v", runstate.ErrInterrupted, err)
 	}
 	fmt.Fprintln(out, "bcnd: coordinator drained cleanly")
+	return nil
+}
+
+// runHACoordinator serves one replica of a highly-available
+// coordinator group: lease-based leader election against the worker
+// fleet's witnesses, live journal replication to the peer replicas,
+// and leadership reporting on /statusz (DESIGN.md §5i).
+func runHACoordinator(ctx context.Context, opt coordOptions, workers []string, out io.Writer) error {
+	peers, err := parseURLList("-peers", opt.peers)
+	if err != nil {
+		return err
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-peers lists no replica URLs")
+	}
+	if opt.self == "" {
+		return fmt.Errorf("coordinator HA needs -self, this replica's advertised base URL")
+	}
+	self, err := parseURLList("-self", opt.self)
+	if err != nil || len(self) != 1 {
+		return fmt.Errorf("-self %q: want exactly one http(s) base URL", opt.self)
+	}
+	if opt.journalDir == "" {
+		return fmt.Errorf("coordinator HA needs -journal: the replicated journal is what a successor resumes from")
+	}
+	if err := runstate.EnsureWritableDir(opt.journalDir); err != nil {
+		return fmt.Errorf("preflight: %w", err)
+	}
+	journal, err := runstate.OpenJournal(filepath.Join(opt.journalDir, runstate.JournalFileName))
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+	if d := journal.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "bcnd: journal replay dropped %d corrupt records\n", d)
+	}
+	fmt.Fprintf(out, "bcnd: replica journal %s replayed %d records\n", journal.Path(), journal.Len())
+
+	node, err := cluster.NewHANode(cluster.HAConfig{
+		Self:      self[0],
+		Peers:     peers,
+		Workers:   workers,
+		LeaseTTL:  opt.leaseTTL,
+		Journal:   journal,
+		MaxSweeps: opt.maxSweeps,
+		Log:       os.Stderr,
+		Coordinator: cluster.Config{
+			ShardSize:         opt.shardSize,
+			LeaseTimeout:      opt.leaseTimeout,
+			HeartbeatInterval: opt.hbInterval,
+			AuditFraction:     opt.auditFraction,
+			MapPath:           filepath.Join(opt.journalDir, "map.csv"),
+			Log:               os.Stderr,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bcnd: HA replica %s on %s (%d peers, %d workers, lease %s)\n",
+		self[0], ln.Addr(), len(peers), len(workers), opt.leaseTTL)
+	if startedHook != nil {
+		startedHook(ln.Addr().String())
+	}
+	hs := newHTTPServer(node.Handler())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("bcnd: serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "bcnd: signal received, stopping replica")
+	// Stop leading first — a peer takes over within one lease TTL — then
+	// close the listener. No drain: the group, not this process, owns
+	// sweep completion.
+	node.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("%w: shutdown: %v", runstate.ErrInterrupted, err)
+	}
+	fmt.Fprintln(out, "bcnd: replica stopped")
 	return nil
 }
 

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bcnphase/internal/cluster"
+)
+
+// serveMap answers a sweep submission the way a healthy leader does:
+// the merged map.csv plus the Bcn-* summary headers.
+func serveMap(csv []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/sweeps" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Bcn-Fingerprint", "deadbeefdeadbeef")
+		w.Header().Set("Bcn-Points", strconv.Itoa(9))
+		w.Header().Set("Bcn-Fresh", strconv.Itoa(9))
+		w.Header().Set("Content-Type", "text/csv")
+		_, _ = w.Write(csv)
+	}
+}
+
+// TestClusterFailover drives the bcnsweep -cluster client against a
+// two-replica coordinator group whose first replica fails in a
+// different way per case — dead before the submit, accepting then
+// severing, severing mid-stream, or redirecting with Bcn-Not-Leader —
+// and asserts the client always delivers a map.csv byte-identical to
+// a local run: one full copy, no partial prefix, no duplicate.
+func TestClusterFailover(t *testing.T) {
+	// The reference map a clean local sweep produces; the fake leaders
+	// serve exactly these bytes.
+	var ref bytes.Buffer
+	if err := run(context.Background(), []string{"-steps", "3"}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Bytes()
+
+	cases := []struct {
+		name string
+		// first builds replica A's handler; nil means A is created dead
+		// (listener closed before the client's first attempt).
+		first func(t *testing.T, csv []byte, healthyURL string) http.HandlerFunc
+		// healthyHits is how many submissions the healthy replica should
+		// see (always 1: the failover resubmits exactly once).
+	}{
+		{
+			name:  "leader dead before submit",
+			first: nil,
+		},
+		{
+			name: "leader dies between submit and response",
+			first: func(t *testing.T, _ []byte, _ string) http.HandlerFunc {
+				return func(w http.ResponseWriter, r *http.Request) {
+					// Accept the submission, then die without a byte written:
+					// the client sees the connection cut and must resubmit.
+					panic(http.ErrAbortHandler)
+				}
+			},
+		},
+		{
+			name: "leader dies mid-stream",
+			first: func(t *testing.T, csv []byte, _ string) http.HandlerFunc {
+				return func(w http.ResponseWriter, r *http.Request) {
+					w.Header().Set("Content-Type", "text/csv")
+					_, _ = w.Write(csv[:len(csv)/2])
+					if f, ok := w.(http.Flusher); ok {
+						f.Flush()
+					}
+					panic(http.ErrAbortHandler) // sever with half the map sent
+				}
+			},
+		},
+		{
+			name: "standby redirects with Bcn-Not-Leader",
+			first: func(t *testing.T, _ []byte, healthyURL string) http.HandlerFunc {
+				return func(w http.ResponseWriter, r *http.Request) {
+					w.Header().Set(cluster.NotLeaderHeader, healthyURL)
+					w.WriteHeader(http.StatusMisdirectedRequest)
+					_, _ = w.Write([]byte(`{"error":"this replica is not the leader","reason":"not-leader"}`))
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var healthyHits atomic.Int64
+			healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				healthyHits.Add(1)
+				serveMap(want)(w, r)
+			}))
+			defer healthy.Close()
+
+			var firstURL string
+			if tc.first == nil {
+				dead := httptest.NewServer(http.NotFoundHandler())
+				firstURL = dead.URL
+				dead.Close() // connection refused from the first attempt on
+			} else {
+				first := httptest.NewServer(tc.first(t, want, healthy.URL))
+				defer first.Close()
+				firstURL = first.URL
+			}
+
+			var got bytes.Buffer
+			err := run(context.Background(), []string{
+				"-steps", "3", "-cluster", firstURL + "," + healthy.URL,
+			}, &got)
+			if err != nil {
+				t.Fatalf("failover run: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("failed-over map is %d bytes, local reference is %d; outputs must be byte-identical",
+					got.Len(), len(want))
+			}
+			if n := healthyHits.Load(); n != 1 {
+				t.Errorf("healthy replica saw %d submissions, want exactly 1 (idempotent resubmit)", n)
+			}
+		})
+	}
+}
+
+// TestClusterFailoverIgnoresStaleHint: standbys keep hinting at a dead
+// leader until the next election; the client must not chase that hint
+// through connection-refused on every lap. Here the only live replica
+// hints at the dead one twice before winning leadership itself — the
+// client has to keep coming back to it rather than burn its budget on
+// the corpse.
+func TestClusterFailoverIgnoresStaleHint(t *testing.T) {
+	tightenFailoverPacer(t)
+	var ref bytes.Buffer
+	if err := run(context.Background(), []string{"-steps", "3"}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Bytes()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	var hits atomic.Int64
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set(cluster.NotLeaderHeader, dead.URL)
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			return
+		}
+		serveMap(want)(w, r)
+	}))
+	defer standby.Close()
+
+	var got bytes.Buffer
+	err := run(context.Background(), []string{
+		"-steps", "3", "-cluster", dead.URL + "," + standby.URL,
+	}, &got)
+	if err != nil {
+		t.Fatalf("run with stale hints: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("map after stale-hint elections differs from the local reference")
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("standby saw %d requests, want 3 (two denials, one success; no hint-chasing detours)", n)
+	}
+}
+
+// tightenFailoverPacer shrinks the lap backoff so exhaustion-path
+// tests finish in milliseconds, restoring it on cleanup.
+func tightenFailoverPacer(t *testing.T) {
+	t.Helper()
+	base, cap := failoverRetryBase, failoverRetryCap
+	failoverRetryBase, failoverRetryCap = time.Millisecond, 5*time.Millisecond
+	t.Cleanup(func() { failoverRetryBase, failoverRetryCap = base, cap })
+}
+
+// TestClusterFailoverExhausted: when every replica stays unreachable
+// the client gives up with an error instead of spinning forever.
+func TestClusterFailoverExhausted(t *testing.T) {
+	tightenFailoverPacer(t)
+	a := httptest.NewServer(http.NotFoundHandler())
+	b := httptest.NewServer(http.NotFoundHandler())
+	a.Close()
+	b.Close()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-steps", "3", "-cluster", a.URL + "," + b.URL}, &out)
+	if err == nil {
+		t.Fatal("sweep against two dead replicas succeeded")
+	}
+	if out.Len() != 0 {
+		t.Errorf("dead-cluster run still wrote %d bytes", out.Len())
+	}
+}

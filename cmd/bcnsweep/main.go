@@ -93,7 +93,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		resume   = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
 		invPol   = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
 		telem    = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
-		clusterC = fs.String("cluster", "", "submit the grid to this bcnd coordinator URL instead of evaluating locally")
+		clusterC = fs.String("cluster", "", "submit the grid to a bcnd coordinator instead of evaluating locally; comma-separated URLs name an HA replica group and the client fails over between them")
 		tenant   = fs.String("tenant", "", "cluster mode: tenant key sent as Bcn-Tenant (empty = anonymous)")
 		deadline = fs.Duration("deadline", 0, "cluster mode: end-to-end deadline budget sent as Bcn-Deadline-Ms (0 = none)")
 	)
@@ -152,7 +152,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if *clusterC != "" {
-		done, err = runCluster(ctx, strings.TrimRight(*clusterC, "/"), grid, *resume, *tenant, *deadline, out)
+		var bases []string
+		for _, u := range strings.Split(*clusterC, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				bases = append(bases, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(bases) == 0 {
+			return fmt.Errorf("-cluster lists no coordinator URLs")
+		}
+		done, err = runCluster(ctx, bases, grid, *resume, *tenant, *deadline, out)
 		return err
 	}
 
@@ -257,14 +266,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
-// runCluster submits the grid to a bcnd coordinator and streams the
-// merged map.csv to out, retrying politely (Retry-After honored with
-// jitter, capped backoff) when the coordinator sheds or drains. The
-// tenant key and deadline budget ride the QoS headers; the deadline is
-// fixed at the first attempt so retries spend the original budget
-// rather than minting a new one. Returns the number of freshly
-// evaluated points the coordinator reported.
-func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeDir, tenant string, deadline time.Duration, out io.Writer) (int, error) {
+// failoverRetryBase/Cap bound the backoff between full fruitless laps
+// of the replica list. Deliberately much shorter than the shed pacer:
+// a leaderless window is an election interval (sub-second), not an
+// overload Retry-After. Vars so tests can tighten them.
+var (
+	failoverRetryBase = 250 * time.Millisecond
+	failoverRetryCap  = 2 * time.Second
+)
+
+// runCluster submits the grid to a bcnd coordinator group and streams
+// the merged map.csv to out. With several base URLs (an HA replica
+// group) the client fails over: a transport error, a connection lost
+// mid-stream, or a Bcn-Not-Leader redirect moves it to the next
+// replica (or straight to the hinted leader), and the resubmission is
+// idempotent by construction — the sweep fingerprint coalesces onto
+// any run already in flight and journaled points replay instead of
+// re-executing. Shed/drain answers are retried politely (Retry-After
+// honored with jitter, capped backoff). The tenant key and deadline
+// budget ride the QoS headers; the deadline is fixed at the first
+// attempt so retries spend the original budget rather than minting a
+// new one. Returns the number of freshly evaluated points the
+// answering coordinator reported.
+func runCluster(ctx context.Context, bases []string, grid cluster.GainGrid, resumeDir, tenant string, deadline time.Duration, out io.Writer) (int, error) {
 	body, err := json.Marshal(grid)
 	if err != nil {
 		return 0, err
@@ -278,10 +302,36 @@ func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeD
 	if deadline > 0 {
 		deadlineAt = time.Now().Add(deadline)
 	}
-	const maxAttempts = 5
+	maxAttempts := 8 * len(bases)
 	pacer := cluster.NewRetryPacer(500*time.Millisecond, 15*time.Second, 0)
+	lapPacer := cluster.NewRetryPacer(failoverRetryBase, failoverRetryCap, 0)
+	cur := 0
+	override := ""    // one-shot target from a Bcn-Not-Leader hint
+	unreachable := "" // last base that failed at the transport level
+	// failover rotates to the next replica; after a full fruitless lap
+	// it backs off so a briefly leaderless group (mid-election) is not
+	// hammered.
+	failover := func(attempt int, why string) error {
+		cur = (cur + 1) % len(bases)
+		fmt.Fprintf(os.Stderr, "bcnsweep: %s; failing over to %s (attempt %d/%d)\n",
+			why, bases[cur], attempt, maxAttempts)
+		if attempt%len(bases) != 0 {
+			return nil
+		}
+		wait := lapPacer.Next(0)
+		select {
+		case <-time.After(wait):
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("%w: cluster submission cancelled", runstate.ErrInterrupted)
+		}
+	}
 	for attempt := 1; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweeps", bytes.NewReader(body))
+		target := bases[cur]
+		if override != "" {
+			target, override = override, ""
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/sweeps", bytes.NewReader(body))
 		if err != nil {
 			return 0, err
 		}
@@ -301,14 +351,53 @@ func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeD
 			if errors.Is(err, context.Canceled) {
 				return 0, fmt.Errorf("%w: cluster submission cancelled", runstate.ErrInterrupted)
 			}
-			return 0, err
+			if attempt >= maxAttempts {
+				return 0, fmt.Errorf("coordinator %s unreachable after %d attempts: %w", target, attempt, err)
+			}
+			unreachable = target
+			if ferr := failover(attempt, fmt.Sprintf("coordinator %s unreachable (%v)", target, err)); ferr != nil {
+				return 0, ferr
+			}
+			continue
+		}
+		if target == unreachable {
+			unreachable = "" // it answered; stop distrusting it
 		}
 		raw, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if rerr != nil {
-			return 0, rerr
+			// Connection lost mid-stream — the classic leader-death-during-
+			// response. The resubmission is idempotent, so fail over rather
+			// than give up with a half map.
+			if attempt >= maxAttempts {
+				return 0, fmt.Errorf("response from %s cut short after %d attempts: %w", target, attempt, rerr)
+			}
+			unreachable = target
+			if ferr := failover(attempt, fmt.Sprintf("response from %s cut short (%v)", target, rerr)); ferr != nil {
+				return 0, ferr
+			}
+			continue
 		}
 		switch {
+		case resp.StatusCode == http.StatusMisdirectedRequest && attempt < maxAttempts:
+			// A standby answered. Follow its leader hint when it has one —
+			// unless the hint names the base we just failed to reach (a
+			// standby's view of the leader outlives the leader; chasing it
+			// through connection-refused burns the whole attempt budget
+			// during an election). Otherwise rotate until a leader emerges.
+			hint := strings.TrimRight(resp.Header.Get(cluster.NotLeaderHeader), "/")
+			if hint != "" && hint != target && hint != unreachable {
+				override = hint
+				fmt.Fprintf(os.Stderr, "bcnsweep: %s is not the leader; following its hint to %s\n", target, hint)
+				continue
+			}
+			why := fmt.Sprintf("%s is not the leader and knows no better", target)
+			if hint != "" && hint == unreachable {
+				why = fmt.Sprintf("%s still hints at unreachable %s", target, hint)
+			}
+			if ferr := failover(attempt, why); ferr != nil {
+				return 0, ferr
+			}
 		case resp.StatusCode == http.StatusOK:
 			fresh, _ := strconv.Atoi(resp.Header.Get("Bcn-Fresh"))
 			fmt.Fprintf(os.Stderr, "bcnsweep: cluster sweep %.12s done: points=%s fresh=%d replayed=%s orphan-shards=%s audited-shards=%s\n",
@@ -334,6 +423,13 @@ func runCluster(ctx context.Context, base string, grid cluster.GainGrid, resumeD
 			case <-time.After(wait):
 			case <-ctx.Done():
 				return 0, fmt.Errorf("%w: cluster submission cancelled", runstate.ErrInterrupted)
+			}
+		case resp.StatusCode == http.StatusInternalServerError && len(bases) > 1 && attempt < maxAttempts:
+			// A sweep that died with its leader (lease lost, workers
+			// unreachable) answers 500; with an HA group another replica
+			// can finish it, so fail over instead of giving up.
+			if ferr := failover(attempt, fmt.Sprintf("sweep failed on %s: %s", target, strings.TrimSpace(string(raw)))); ferr != nil {
+				return 0, ferr
 			}
 		default:
 			return 0, fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))

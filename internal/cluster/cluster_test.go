@@ -149,9 +149,19 @@ func TestNewValidatesWorkers(t *testing.T) {
 	if _, err := New(Config{Workers: []string{"http://a", ""}}); err == nil {
 		t.Error("empty worker URL accepted")
 	}
-	if _, err := New(Config{Workers: []string{"http://a", "http://a"}}); err == nil {
-		t.Error("duplicate worker URL accepted")
+	if _, err := New(Config{Workers: []string{"http://a", "   "}}); err == nil {
+		t.Error("blank worker URL accepted")
 	}
+	// Duplicates collapse to one seat instead of erroring: a repeated
+	// -workers entry must not double a worker's placement weight.
+	c2, err := New(Config{Workers: []string{"http://a", "http://a", "http://b"}, HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatalf("duplicate worker URL rejected: %v", err)
+	}
+	if got := len(c2.cfg.Workers); got != 2 {
+		t.Errorf("deduped worker list has %d entries, want 2", got)
+	}
+	c2.Close()
 	c, err := New(Config{Workers: []string{"http://a"}, HeartbeatInterval: -1})
 	if err != nil {
 		t.Fatal(err)

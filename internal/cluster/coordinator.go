@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -95,6 +96,23 @@ type Config struct {
 	// auditFor, when non-nil, replaces AuditFraction sampling with a
 	// per-shard-index decision (deterministic audit schedules in tests).
 	auditFor func(index int) bool
+	// Term, when nonzero, stamps every shard dispatch with this
+	// leadership term (Bcn-Term header). Workers whose witness has seen
+	// a higher term reject the dispatch terminally, so a deposed
+	// leader's stale grants die at the worker's door instead of merging
+	// (see internal/serve's witness and DESIGN.md §5i).
+	Term uint64
+	// LeaseValid, when non-nil, gates every merge: returning false
+	// fails the sweep with ErrLeaseLost before anything is journaled.
+	// The HA layer installs it so a leader that lost its lease stops
+	// writing even if no fenced worker has told it so yet.
+	LeaseValid func() bool
+	// CompactJournal compacts the journal (when it supports compaction,
+	// as runstate.Journal does) after each successful sweep, bounding
+	// replay time and standby snapshot size by live state instead of
+	// append history. Compaction failures are logged, never fatal — the
+	// sweep's durability does not depend on the rewrite.
+	CompactJournal bool
 }
 
 // Coordinator shards gain-plane sweeps across bcnd workers. Create
@@ -112,6 +130,7 @@ type Coordinator struct {
 	alive    []bool
 	draining []bool
 	misses   []int
+	lastSeen []time.Time // monotonic: last healthy probe (or start)
 	inflight []map[*context.CancelFunc]struct{}
 	runs     map[*sweepState]struct{}
 
@@ -120,22 +139,39 @@ type Coordinator struct {
 	registry *telemetry.Registry
 }
 
-// New builds a Coordinator from cfg, applying defaults, and starts the
-// heartbeat monitor.
-func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
+// dedupeWorkers rejects empty worker URLs and collapses duplicates to
+// their first occurrence. Deduplication happens before the
+// consistent-hash ring is built: a worker listed twice (a copy-pasted
+// -workers flag) must not get double the virtual-node count — and so
+// double the shard placement weight — of its peers, nor be probed and
+// breaker-tracked as two phantom workers.
+func dedupeWorkers(in []string) ([]string, error) {
+	if len(in) == 0 {
 		return nil, fmt.Errorf("cluster: coordinator needs at least one worker URL")
 	}
-	seen := make(map[string]bool, len(cfg.Workers))
-	for _, w := range cfg.Workers {
-		if w == "" {
+	out := make([]string, 0, len(in))
+	seen := make(map[string]bool, len(in))
+	for _, w := range in {
+		if strings.TrimSpace(w) == "" {
 			return nil, fmt.Errorf("cluster: empty worker URL")
 		}
 		if seen[w] {
-			return nil, fmt.Errorf("cluster: duplicate worker URL %s", w)
+			continue
 		}
 		seen[w] = true
+		out = append(out, w)
 	}
+	return out, nil
+}
+
+// New builds a Coordinator from cfg, applying defaults, and starts the
+// heartbeat monitor.
+func New(cfg Config) (*Coordinator, error) {
+	workers, err := dedupeWorkers(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = workers
 	if cfg.ShardSize <= 0 {
 		cfg.ShardSize = DefaultShardSize
 	}
@@ -187,6 +223,7 @@ func New(cfg Config) (*Coordinator, error) {
 		alive:    make([]bool, len(cfg.Workers)),
 		draining: make([]bool, len(cfg.Workers)),
 		misses:   make([]int, len(cfg.Workers)),
+		lastSeen: make([]time.Time, len(cfg.Workers)),
 		inflight: make([]map[*context.CancelFunc]struct{}, len(cfg.Workers)),
 		runs:     make(map[*sweepState]struct{}),
 		stop:     make(chan struct{}),
@@ -194,10 +231,12 @@ func New(cfg Config) (*Coordinator, error) {
 		registry: cfg.Registry,
 	}
 	c.breaker = newWorkerBreaker(cfg.Workers, cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now, c.m)
+	started := time.Now() // monotonic reading: the heartbeat epoch
 	for w := range cfg.Workers {
 		// Optimistic start: workers are presumed alive until heartbeats
 		// (or dispatch failures through the breaker) say otherwise.
 		c.alive[w] = true
+		c.lastSeen[w] = started
 		c.inflight[w] = make(map[*context.CancelFunc]struct{})
 		c.m.WorkerUp.With(cfg.Workers[w]).Set(1)
 	}
@@ -380,6 +419,15 @@ func (c *Coordinator) Run(ctx context.Context, grid GainGrid) (*Output, error) {
 	if c.cfg.MapPath != "" {
 		if err := runstate.WriteFileAtomic(c.cfg.MapPath, out.CSV, 0o644); err != nil {
 			return nil, err
+		}
+	}
+	if c.cfg.CompactJournal {
+		if comp, ok := c.cfg.Journal.(interface{ Compact() error }); ok {
+			if err := comp.Compact(); err != nil {
+				c.logf("journal compaction after sweep %0.12s failed (sweep unaffected): %v", fp, err)
+			} else {
+				c.logf("journal compacted after sweep %0.12s", fp)
+			}
 		}
 	}
 	c.logf("sweep %0.12s done: %d points (%d fresh, %d replayed, %d orphan shards) in %s",
@@ -646,6 +694,20 @@ func (c *Coordinator) workerLoop(ctx context.Context, st *sweepState, w int) {
 			st.queues[w] = append(st.queues[w], sr)
 			st.mu.Unlock()
 			st.cond.Broadcast()
+		case errors.Is(err, ErrStaleTerm):
+			// The worker's witness has granted a higher term: this
+			// coordinator is deposed. The whole sweep is doomed — every
+			// further dispatch would be fenced the same way — so fail it
+			// now without blaming the worker, and let the HA layer (which
+			// observes the same lease loss) step down.
+			c.breaker.Release(w)
+			st.mu.Lock()
+			if st.fatal == nil {
+				st.fatal = err
+			}
+			st.mu.Unlock()
+			st.cond.Broadcast()
+			return
 		default:
 			c.breaker.Failure(w)
 			c.m.WorkerErrors.With(name).Inc()
@@ -694,6 +756,13 @@ func (c *Coordinator) requeue(st *sweepState, sr *shardRun, failed int) {
 // healing schema drift on re-execution. Shards merged without an audit
 // are remembered per worker so a later quarantine can revoke them.
 func (c *Coordinator) merge(st *sweepState, w int, sr *shardRun, res ShardResult, audited bool) error {
+	// Leadership gate: results from a term whose lease has lapsed must
+	// not reach the journal. Worker-side fencing already rejects most
+	// stale dispatches; this is the local backstop for a result that was
+	// already in flight when the lease was lost.
+	if c.cfg.LeaseValid != nil && !c.cfg.LeaseValid() {
+		return fmt.Errorf("%w: term %d lease invalid at merge of shard %d", ErrLeaseLost, c.cfg.Term, sr.shard.Index)
+	}
 	if j := c.cfg.Journal; j != nil {
 		for i, key := range sr.shard.Keys {
 			if !sr.revoked {
@@ -871,6 +940,14 @@ func (c *Coordinator) postShard(ctx context.Context, w int, sh *ShardSpec, body 
 		return ShardResult{}, -1, fmt.Errorf("cluster: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Fencing: stamp the dispatch with the leadership term. A worker
+	// whose witness has granted a higher term answers 409 stale-term,
+	// which postShard classifies as terminal and workerLoop escalates to
+	// a sweep-fatal ErrStaleTerm — a deposed leader stops, it does not
+	// retry its way back in.
+	if c.cfg.Term != 0 {
+		req.Header.Set(TermHeader, strconv.FormatUint(c.cfg.Term, 10))
+	}
 	// Propagate the tenant key and the per-hop-decremented deadline so a
 	// QoS-enabled worker bills this shard to the right tenant and dooms
 	// it early when the budget has drained.
@@ -897,6 +974,15 @@ func (c *Coordinator) postShard(ctx context.Context, w int, sh *ShardSpec, body 
 		return ShardResult{}, 0, fmt.Errorf("cluster: read shard %d response: %w", sh.Index, err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusConflict {
+			var eb struct {
+				Reason string `json:"reason"`
+			}
+			if json.Unmarshal(raw, &eb) == nil && eb.Reason == StaleTermReason {
+				return ShardResult{}, -1, fmt.Errorf("%w: worker %s fenced shard %d dispatched at term %d (worker has seen term %s)",
+					ErrStaleTerm, c.cfg.Workers[w], sh.Index, c.cfg.Term, resp.Header.Get(TermHeader))
+			}
+		}
 		err := fmt.Errorf("cluster: worker %s answered shard %d with status %d: %s",
 			c.cfg.Workers[w], sh.Index, resp.StatusCode, truncate(raw, 200))
 		if retryableStatus(resp.StatusCode) {
@@ -937,9 +1023,14 @@ func (c *Coordinator) heartbeatLoop() {
 			return
 		case <-t.C:
 		}
+		// The tick time is captured once, before any probe: a healthy
+		// worker's lastSeen then advances by exactly one interval per
+		// tick, so the monotonic down-deadline below cannot drift with
+		// per-probe latency.
+		tick := time.Now()
 		for w := range c.cfg.Workers {
 			st, err := c.probe(w)
-			c.noteHeartbeat(w, st, err)
+			c.noteHeartbeat(w, tick, st, err)
 		}
 	}
 }
@@ -971,13 +1062,24 @@ func (c *Coordinator) probe(w int) (WorkerStatus, error) {
 	return DecodeWorkerStatus(raw)
 }
 
-// noteHeartbeat folds one probe outcome into the liveness state.
-func (c *Coordinator) noteHeartbeat(w int, st WorkerStatus, err error) {
+// noteHeartbeat folds one probe outcome into the liveness state. The
+// down decision is monotonic: a worker is lost only when
+// HeartbeatMisses consecutive probes failed AND time.Since its last
+// healthy probe — a time.Time captured once per tick, carrying the
+// runtime's monotonic reading — covers that many full intervals.
+// time.Since subtracts monotonic clocks, so a wall-clock step (NTP
+// correction, VM resume, leap smear) can neither mark a healthy worker
+// down nor keep a dead one alive; the miss counter alone would survive
+// a jump, but the deadline also protects against a stalled ticker
+// firing a burst of queued probes back to back.
+func (c *Coordinator) noteHeartbeat(w int, tick time.Time, st WorkerStatus, err error) {
 	name := c.cfg.Workers[w]
 	c.mu.Lock()
 	if err != nil {
 		c.misses[w]++
-		lost := c.alive[w] && c.misses[w] >= c.cfg.HeartbeatMisses
+		downFor := time.Since(c.lastSeen[w])
+		deadline := time.Duration(c.cfg.HeartbeatMisses) * c.cfg.HeartbeatInterval
+		lost := c.alive[w] && c.misses[w] >= c.cfg.HeartbeatMisses && downFor >= deadline
 		if lost {
 			c.alive[w] = false
 			// Cancel the worker's leases now: its in-flight shards fail
@@ -997,6 +1099,7 @@ func (c *Coordinator) noteHeartbeat(w int, st WorkerStatus, err error) {
 	recovered := !c.alive[w]
 	c.alive[w] = true
 	c.misses[w] = 0
+	c.lastSeen[w] = tick
 	drainChanged := c.draining[w] != st.Draining
 	c.draining[w] = st.Draining
 	c.mu.Unlock()

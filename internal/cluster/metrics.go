@@ -110,3 +110,46 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"wall-clock latency of one successful shard dispatch", nil),
 	}
 }
+
+// HAMetrics is the high-availability replica's instrument set: who
+// leads, at what term, and how far the replication stream lags.
+type HAMetrics struct {
+	// Term is the term this replica most recently led; IsLeader is 1
+	// while it believes it holds the lease.
+	Term     *telemetry.Gauge
+	IsLeader *telemetry.Gauge
+	// Elections counts terms won; StepDowns counts leaderships
+	// relinquished (expired lease, higher term witnessed, shutdown).
+	Elections *telemetry.Counter
+	StepDowns *telemetry.Counter
+	// ReplicatedRecords counts journal records acknowledged by a
+	// standby; ReplDropped counts records dropped from the stream
+	// (queue overflow, send failure, deposed sender) and left for
+	// snapshot catch-up; AppliedRecords counts records this replica
+	// applied from a peer; SnapshotSyncs counts full-journal catch-up
+	// fetches completed.
+	ReplicatedRecords *telemetry.Counter
+	ReplDropped       *telemetry.Counter
+	AppliedRecords    *telemetry.Counter
+	SnapshotSyncs     *telemetry.Counter
+}
+
+// NewHAMetrics registers the HA family on reg; lag, when non-nil,
+// backs the live cluster_replication_lag_records gauge.
+func NewHAMetrics(reg *telemetry.Registry, lag func() float64) *HAMetrics {
+	m := &HAMetrics{
+		Term:              reg.Gauge("cluster_term", "leadership term this replica most recently led"),
+		IsLeader:          reg.Gauge("cluster_is_leader", "1 while this replica holds the leadership lease"),
+		Elections:         reg.Counter("cluster_elections_total", "leadership terms won by this replica"),
+		StepDowns:         reg.Counter("cluster_stepdowns_total", "leaderships relinquished by this replica"),
+		ReplicatedRecords: reg.Counter("cluster_replicated_records_total", "journal records acknowledged by a standby"),
+		ReplDropped:       reg.Counter("cluster_replication_dropped_total", "journal records dropped from the replication stream (healed by snapshot)"),
+		AppliedRecords:    reg.Counter("cluster_applied_records_total", "journal records applied from a peer (stream or snapshot)"),
+		SnapshotSyncs:     reg.Counter("cluster_snapshot_syncs_total", "full-journal catch-up fetches completed"),
+	}
+	if lag != nil {
+		reg.GaugeFunc("cluster_replication_lag_records",
+			"journal records queued for standbys and not yet sent", lag)
+	}
+	return m
+}

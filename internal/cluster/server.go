@@ -26,6 +26,19 @@ type ServerConfig struct {
 	SweepTimeout time.Duration
 	// Log, when non-nil, receives one line per submission outcome.
 	Log io.Writer
+	// BaseContext, when non-nil, parents every sweep's context. Sweeps
+	// deliberately outlive their submitting connections, so by default
+	// they run under context.Background; the HA layer passes its
+	// leadership context instead, cancelling every running sweep the
+	// moment the replica stops being leader.
+	BaseContext context.Context
+	// OnSweepAccepted, when non-nil, runs once per admitted sweep
+	// before execution starts; an error fails the submission. The HA
+	// layer journals the grid here so a successor can resume the sweep.
+	OnSweepAccepted func(fp string, grid GainGrid) error
+	// OnSweepDone, when non-nil, observes every successfully completed
+	// sweep (the HA layer records the sweep-done marker).
+	OnSweepDone func(fp string, out *Output)
 }
 
 // Server is the coordinator's HTTP layer: POST /v1/sweeps submits a
@@ -162,12 +175,36 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	call, rej := s.begin(fp, grid, tenant, budget, hasDeadline)
+	if rej != nil {
+		if rej.body.Reason == "shed" {
+			c.m.SweepsShed.Inc()
+		}
+		s.reject(w, rej.status, rej.retryAfter, rej.body)
+		return
+	}
+	s.respond(w, r, fp, call)
+}
+
+// beginReject is a refused admission: the HTTP verdict begin would
+// have handleSweep write.
+type beginReject struct {
+	status     int
+	retryAfter time.Duration
+	body       clusterError
+}
+
+// begin admits one sweep (or coalesces onto the identical one already
+// running) through every path into the coordinator — HTTP submissions
+// and HA takeover resumption alike share its draining check,
+// concurrency bound, coalescing map and bookkeeping hooks.
+func (s *Server) begin(fp string, grid GainGrid, tenant string, budget time.Duration, hasDeadline bool) (*sweepCall, *beginReject) {
+	c := s.cfg.Coordinator
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.reject(w, http.StatusServiceUnavailable, time.Second, clusterError{
-			Error: "coordinator is draining", Reason: "draining"})
-		return
+		return nil, &beginReject{http.StatusServiceUnavailable, time.Second, clusterError{
+			Error: "coordinator is draining", Reason: "draining"}}
 	}
 	if call, ok := s.active[fp]; ok {
 		// Identical grid already running: ride along instead of paying
@@ -175,18 +212,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// coalescing avoids even the dispatch round-trips).
 		s.mu.Unlock()
 		s.logf("sweep %0.12s coalesced onto running submission", fp)
-		s.respond(w, r, fp, call)
-		return
+		return call, nil
 	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		s.mu.Unlock()
-		c.m.SweepsShed.Inc()
-		s.reject(w, http.StatusTooManyRequests, 2*time.Second, clusterError{
+		return nil, &beginReject{http.StatusTooManyRequests, 2 * time.Second, clusterError{
 			Error:  fmt.Sprintf("coordinator at its limit of %d concurrent sweeps", s.cfg.MaxSweeps),
-			Reason: "shed"})
-		return
+			Reason: "shed"}}
 	}
 	call := &sweepCall{done: make(chan struct{})}
 	s.active[fp] = call
@@ -203,7 +237,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			s.wg.Done()
 			close(call.done)
 		}()
-		ctx := qos.WithTenant(context.Background(), tenant)
+		// Bookkeeping before the first shard is cut: a crash after this
+		// point leaves a journaled grid a successor can resume.
+		if s.cfg.OnSweepAccepted != nil {
+			if err := s.cfg.OnSweepAccepted(fp, grid); err != nil {
+				call.err = fmt.Errorf("cluster: sweep bookkeeping: %w", err)
+				return
+			}
+		}
+		base := s.cfg.BaseContext
+		if base == nil {
+			base = context.Background()
+		}
+		ctx := qos.WithTenant(base, tenant)
 		if s.cfg.SweepTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.SweepTimeout)
@@ -218,8 +264,38 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// client that gives up does not strand a half-journaled grid, and
 		// a resubmission replays the finished work from the journal.
 		call.out, call.err = c.Run(ctx, grid)
+		if call.err == nil && s.cfg.OnSweepDone != nil {
+			s.cfg.OnSweepDone(fp, call.out)
+		}
 	}()
-	s.respond(w, r, fp, call)
+	return call, nil
+}
+
+// ErrSweepsBusy is Submit's refusal when the concurrent-sweep bound or
+// a drain blocks admission; callers retry later.
+var ErrSweepsBusy = errors.New("cluster: coordinator cannot admit the sweep now")
+
+// Submit runs (or joins) a sweep through the same coalescing and
+// bookkeeping path as POST /v1/sweeps. The HA layer resumes journaled
+// sweeps with it after a leadership takeover, so a client resubmitting
+// the same grid coalesces onto the resumed run instead of racing it.
+func (s *Server) Submit(ctx context.Context, grid GainGrid) (*Output, error) {
+	fp, err := grid.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	call, rej := s.begin(fp, grid, "", 0, false)
+	if rej != nil {
+		return nil, fmt.Errorf("%w: %s", ErrSweepsBusy, rej.body.Error)
+	}
+	select {
+	case <-call.done:
+		return call.out, call.err
+	case <-ctx.Done():
+		// The sweep keeps running, exactly as it would for a hung-up
+		// HTTP client; only this waiter gives up.
+		return nil, ctx.Err()
+	}
 }
 
 // respond waits for the sweep (or the client hanging up) and writes the

@@ -1,0 +1,182 @@
+package runstate
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func journalLines(t *testing.T, path string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestJournalCompact rewrites a journal holding superseded lines down
+// to one line per live key and proves the compacted file replays to the
+// same state, stays appendable, and survives a reopen.
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalFileName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k1 superseded twice, k2 once: 5 appended lines, 2 live keys.
+	for _, rec := range [][2]string{
+		{"k1", `"v1"`}, {"k1", `"v2"`}, {"k1", `"v3"`},
+		{"k2", `"w1"`}, {"k2", `"w2"`},
+	} {
+		if err := j.Record(rec[0], []byte(rec[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(journalLines(t, path)); got != 5 {
+		t.Fatalf("pre-compaction lines = %d, want 5", got)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(journalLines(t, path)); got != 2 {
+		t.Fatalf("post-compaction lines = %d, want 2", got)
+	}
+	if v, ok := j.Lookup("k1"); !ok || string(v) != `"v3"` {
+		t.Fatalf("k1 after compact = %q, %v", v, ok)
+	}
+	// Appends keep working against the swapped file.
+	if err := j.Record("k3", []byte(`not json`)); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	if err := j.Record("k3", []byte(`"x1"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 3 || j2.Dropped() != 0 {
+		t.Fatalf("reopened journal: len=%d dropped=%d, want 3/0", j2.Len(), j2.Dropped())
+	}
+	for key, want := range map[string]string{"k1": `"v3"`, "k2": `"w2"`, "k3": `"x1"`} {
+		if v, ok := j2.Lookup(key); !ok || string(v) != want {
+			t.Fatalf("%s = %q, %v; want %s", key, v, ok, want)
+		}
+	}
+}
+
+// TestJournalCompactTornRecovery simulates a crash mid-compaction: the
+// temporary rewrite exists (torn or complete) but was never renamed.
+// Reopening must serve the untouched original and discard the leftover.
+func TestJournalCompactTornRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tmp  []byte
+	}{
+		{"garbage", []byte("{torn line that never finished")},
+		{"valid-prefix", []byte(`{"key":"k1","val":"\"v1\"","crc":0}` + "\npartial")},
+		{"empty", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), JournalFileName)
+			j, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				if err := j.Record(fmt.Sprintf("k%d", i), []byte(`"v"`)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tmp := path + compactSuffix
+			if err := os.WriteFile(tmp, tc.tmp, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if j2.Len() != 4 || j2.Dropped() != 0 {
+				t.Fatalf("after torn compaction: len=%d dropped=%d, want 4/0", j2.Len(), j2.Dropped())
+			}
+			if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+				t.Fatalf("stale compaction file survived reopen: %v", err)
+			}
+			// And a fresh compaction completes normally afterwards.
+			if err := j2.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(journalLines(t, path)); got != 4 {
+				t.Fatalf("lines after recovery compaction = %d, want 4", got)
+			}
+		})
+	}
+}
+
+// TestJournalCompactPreservesBytes proves compaction is value-faithful:
+// the live values before and after are byte-identical.
+func TestJournalCompactPreservesBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalFileName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	want := map[string][]byte{}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("point-%02d", i)
+		val := []byte(fmt.Sprintf(`{"csv":"row %d","n":%d}`, i, i*i))
+		if err := j.Record(key, val); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for key, val := range want {
+		got, ok := j.Lookup(key)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("%s = %q after compaction, want %q", key, got, val)
+		}
+	}
+	if err := j.Compact(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got := len(journalLines(t, path)); got != len(want) {
+		t.Fatalf("lines = %d, want %d", got, len(want))
+	}
+}
+
+// TestJournalCompactClosed: a closed journal refuses to compact.
+func TestJournalCompactClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalFileName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err == nil {
+		t.Fatal("Compact on a closed journal succeeded")
+	}
+}

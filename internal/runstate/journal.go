@@ -12,6 +12,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -27,6 +28,13 @@ var ErrStorageDegraded = errors.New("runstate: journal storage degraded")
 
 // JournalFileName is the journal's file name inside a run directory.
 const JournalFileName = "journal.jsonl"
+
+// compactSuffix names the temporary file a compaction writes before
+// atomically renaming it over the journal. A crash mid-compaction
+// leaves the suffixed file behind; OpenJournal removes it, so a torn
+// compaction costs nothing but the rewrite — the original journal was
+// never touched.
+const compactSuffix = ".compact"
 
 // record is one journal line. Val must be valid JSON; CRC is the IEEE
 // CRC-32 of key||val so a torn or bit-rotted line is detected on replay
@@ -92,6 +100,11 @@ func OpenJournal(path string) (*Journal, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("runstate: %w", err)
 	}
+	// A crash between writing a compaction file and renaming it leaves
+	// the temporary behind. The journal proper is intact (compaction
+	// never modifies it in place), so the right recovery is to discard
+	// the torn rewrite and replay the original.
+	_ = os.Remove(path + compactSuffix)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runstate: open journal: %w", err)
@@ -174,6 +187,118 @@ func (j *Journal) Record(key string, val []byte) error {
 		return fmt.Errorf("%w: sync: %s", ErrStorageDegraded, err)
 	}
 	j.entries[key] = append(json.RawMessage(nil), val...)
+	return nil
+}
+
+// Compact rewrites the journal to exactly one line per live key,
+// dropping superseded and corrupt lines. The rewrite goes to a
+// temporary file in the same directory, is fsynced, re-read and
+// CRC-verified line by line, and only then atomically renamed over the
+// journal — a crash at any point leaves either the old file or the new
+// one, never a mix. Appends block for the duration and resume against
+// the compacted file. Call it at natural quiesce points (a sweep just
+// completed) to keep replay time and snapshot transfers bounded by the
+// live state rather than by append history.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runstate: journal %s is closed", j.path)
+	}
+	if j.degraded != nil {
+		return fmt.Errorf("%w: %s", ErrStorageDegraded, j.degraded)
+	}
+	keys := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tmp := j.path + compactSuffix
+	fail := func(f *os.File, err error) error {
+		if f != nil {
+			f.Close()
+		}
+		os.Remove(tmp)
+		return fmt.Errorf("runstate: compact journal: %w", err)
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fail(nil, err)
+	}
+	w := bufio.NewWriter(f)
+	for _, k := range keys {
+		line, err := json.Marshal(record{Key: k, Val: j.entries[k], CRC: recordCRC(k, j.entries[k])})
+		if err != nil {
+			return fail(f, err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return fail(f, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(f, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(f, err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(nil, err)
+	}
+	// Verify the bytes the filesystem will actually serve before they
+	// replace a journal known to be good: every line must decode with a
+	// matching checksum and the live-key count must balance.
+	if err := verifyCompacted(tmp, j.entries); err != nil {
+		return fail(nil, err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fail(nil, err)
+	}
+	nf, err := os.OpenFile(j.path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted file is in place but no append handle reaches it;
+		// durability for future records cannot be promised.
+		j.degraded = err
+		return fmt.Errorf("%w: reopen after compact: %s", ErrStorageDegraded, err)
+	}
+	j.f.Close()
+	j.f = nf
+	j.dropped = 0
+	syncDir(filepath.Dir(j.path))
+	return nil
+}
+
+// verifyCompacted replays a freshly written compaction file and
+// requires it to reproduce exactly the live entries it was built from.
+func verifyCompacted(path string, want map[string]json.RawMessage) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := decodeRecord(line)
+		if err != nil {
+			return fmt.Errorf("verification: %w", err)
+		}
+		have, ok := want[rec.Key]
+		if !ok || !bytes.Equal(have, rec.Val) {
+			return fmt.Errorf("verification: key %s does not match live state", rec.Key)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("verification: %w", err)
+	}
+	if n != len(want) {
+		return fmt.Errorf("verification: %d lines for %d live keys", n, len(want))
+	}
 	return nil
 }
 

@@ -22,6 +22,9 @@ type serverMetrics struct {
 	coalesced      *telemetry.Counter
 	killed         *telemetry.Counter
 	breakerRejects *telemetry.Counter
+	leaseGrants    *telemetry.Counter
+	leaseDenials   *telemetry.Counter
+	fencedJobs     *telemetry.Counter
 	// jobSeconds is the wall-clock latency of one executed job, by kind.
 	jobSeconds *telemetry.HistogramVec
 	// breakerTransitions counts state changes by destination state.
@@ -40,6 +43,9 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 		coalesced:      reg.Counter("serve_coalesced_total", "duplicate submissions coalesced onto a leader"),
 		killed:         reg.Counter("serve_killed_total", "jobs killed by client disconnect or cancellation"),
 		breakerRejects: reg.Counter("serve_breaker_rejects_total", "submissions rejected by an open breaker"),
+		leaseGrants:    reg.Counter("serve_lease_grants_total", "coordinator leadership leases granted by this witness"),
+		leaseDenials:   reg.Counter("serve_lease_denials_total", "coordinator leadership leases denied by this witness"),
+		fencedJobs:     reg.Counter("serve_fenced_jobs_total", "shard dispatches rejected for carrying a stale leadership term"),
 		jobSeconds: reg.HistogramVec("serve_job_seconds",
 			"wall-clock latency of one executed job", nil, "kind"),
 		breakerTransitions: reg.CounterVec("serve_breaker_transitions_total",

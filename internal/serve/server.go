@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bcnphase/internal/cluster"
 	"bcnphase/internal/invariant"
 	"bcnphase/internal/qos"
 	"bcnphase/internal/sweep"
@@ -149,6 +150,11 @@ type Server struct {
 	// qos is the closed-loop overload-protection state; nil when
 	// Config.QoS is nil (legacy static-shed path).
 	qos *qosState
+
+	// witness is this worker's slice of the coordinator leadership
+	// quorum: it grants term leases over POST /v1/lease and supplies
+	// the fencing floor that rejects a deposed leader's dispatches.
+	witness witness
 }
 
 // inflightJob coalesces concurrent submissions of the same spec onto
@@ -246,6 +252,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleGet)
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
@@ -382,6 +389,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Error: "server is draining", Reason: "draining",
 		})
 		return
+	}
+	// Fencing: a dispatch stamped with a leadership term below the
+	// witness's floor comes from a deposed coordinator. Answer 409
+	// stale-term — terminal, never retried — before cache, admission or
+	// coalescing get a look: even a cache hit would let a dead leader
+	// keep believing it leads. Requests without the header (single
+	//-coordinator deployments, direct bcnsim submissions) skip the check.
+	if th := r.Header.Get(cluster.TermHeader); th != "" {
+		term, perr := strconv.ParseUint(th, 10, 64)
+		if perr != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("malformed %s header: %v", cluster.TermHeader, perr), Reason: "malformed-term"})
+			return
+		}
+		if floor := s.witness.fencingTerm(); term < floor {
+			s.metrics.fencedJobs.Inc()
+			s.logf("fenced dispatch at term %d (witnessed term %d)", term, floor)
+			w.Header().Set(cluster.TermHeader, strconv.FormatUint(floor, 10))
+			writeJSON(w, http.StatusConflict, errorBody{
+				Error:  fmt.Sprintf("dispatch term %d is stale: this worker has witnessed term %d", term, floor),
+				Reason: cluster.StaleTermReason,
+			})
+			return
+		}
 	}
 	var qr *qosRequest
 	if s.qos != nil {
@@ -733,6 +764,9 @@ type Status struct {
 	Breaker        []RegionStatus `json:"breaker,omitempty"`
 	// QoS is the closed-loop admission block; absent without Config.QoS.
 	QoS *QoSStatus `json:"qos,omitempty"`
+	// Lease is this worker's leadership-witness state: the highest
+	// granted term (the fencing floor) and the current holder, if any.
+	Lease *LeaseStatus `json:"lease,omitempty"`
 }
 
 // StatusSnapshot assembles the live Status.
@@ -761,6 +795,7 @@ func (s *Server) StatusSnapshot() Status {
 		JournalLen:     s.cache.Len(),
 		Breaker:        s.breaker.Snapshot(),
 		QoS:            s.qosStatus(),
+		Lease:          s.witness.status(),
 	}
 }
 

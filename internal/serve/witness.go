@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"bcnphase/internal/cluster"
+)
+
+// witness is the worker-side half of the coordinator leadership
+// protocol (DESIGN.md §5i). Every worker holds one: a coordinator
+// replica that collects grants from a majority of the fleet's
+// witnesses inside one TTL is the leader for that term. The state is
+// deliberately tiny and purely local — no worker talks to another —
+// because lease safety comes from quorum intersection, not from
+// witness coordination: two candidates cannot both hold majorities of
+// the same fleet at overlapping times unless witnesses double-grant,
+// and the rules below never grant the same unexpired term twice.
+//
+// All expiry arithmetic uses time.Since on a time.Time captured at
+// grant, i.e. the monotonic clock: a wall-clock step cannot open a
+// second concurrent leadership window.
+type witness struct {
+	mu        sync.Mutex
+	term      uint64 // highest term ever granted — the fencing floor
+	holder    string
+	grantedAt time.Time
+	ttl       time.Duration
+}
+
+// expired reports whether the current lease has lapsed. Callers hold mu.
+func (wt *witness) expired() bool {
+	return wt.holder == "" || time.Since(wt.grantedAt) >= wt.ttl
+}
+
+// lease decides one lease request:
+//
+//   - a HIGHER term is granted when the seat is open (expired lease)
+//     or the candidate already holds it (an incumbent may raise its own
+//     term, e.g. after healing a partition);
+//   - the CURRENT term is granted only to its holder — that is a
+//     renewal, and it restarts the TTL;
+//   - everything else is denied, with the response reporting the
+//     fencing term and current holder so the candidate knows what term
+//     to campaign at next and clients learn where the leader is.
+func (wt *witness) lease(req cluster.LeaseRequest) cluster.LeaseResponse {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	grant := false
+	switch {
+	case req.Term > wt.term && (wt.expired() || req.Candidate == wt.holder):
+		grant = true
+	case req.Term == wt.term && wt.term != 0 && req.Candidate == wt.holder:
+		grant = true // renewal
+	}
+	if grant {
+		wt.term = req.Term
+		wt.holder = req.Candidate
+		wt.grantedAt = time.Now()
+		wt.ttl = time.Duration(req.TTLMs) * time.Millisecond
+	}
+	resp := cluster.LeaseResponse{Granted: grant, Term: wt.term}
+	if !wt.expired() {
+		resp.Holder = wt.holder
+		if left := wt.ttl - time.Since(wt.grantedAt); left > 0 {
+			resp.TTLMsLeft = int64(left / time.Millisecond)
+		}
+	}
+	return resp
+}
+
+// fencingTerm is the highest term this witness has granted. Shard
+// dispatches carrying a lower Bcn-Term are rejected — the sender was
+// deposed by whoever won this term.
+func (wt *witness) fencingTerm() uint64 {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	return wt.term
+}
+
+// LeaseStatus is the witness block of /statusz.
+type LeaseStatus struct {
+	Term      uint64 `json:"term"`
+	Holder    string `json:"holder,omitempty"`
+	TTLMsLeft int64  `json:"ttl_ms_left,omitempty"`
+}
+
+func (wt *witness) status() *LeaseStatus {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	st := &LeaseStatus{Term: wt.term}
+	if !wt.expired() {
+		st.Holder = wt.holder
+		if left := wt.ttl - time.Since(wt.grantedAt); left > 0 {
+			st.TTLMsLeft = int64(left / time.Millisecond)
+		}
+	}
+	return st
+}
+
+// handleLease is POST /v1/lease: the witness endpoint coordinators
+// campaign against.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, err := cluster.DecodeLeaseRequest(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Reason: "malformed-lease"})
+		return
+	}
+	resp := s.witness.lease(req)
+	if resp.Granted {
+		s.metrics.leaseGrants.Inc()
+		s.logf("lease: granted term %d to %s (ttl %dms)", req.Term, req.Candidate, req.TTLMs)
+	} else {
+		s.metrics.leaseDenials.Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,102 @@
+// Command chaosproxy fronts one upstream with a deterministic
+// internal/chaosnet proxy and exposes a second, admin-only listener
+// whose /partition endpoint toggles a full network partition at
+// runtime. It is the standalone face of chaosnet for shell soaks that
+// need to sever a live coordinator from its worker fleet mid-sweep
+// (scripts/failover_soak.sh) without reaching into the process.
+//
+// Usage:
+//
+//	go run ./scripts/chaosproxy -target http://127.0.0.1:8080
+//
+// Banners on stdout name both bound addresses so callers on ephemeral
+// ports can scrape them:
+//
+//	chaosproxy: proxying http://127.0.0.1:8080 on 127.0.0.1:41123
+//	chaosproxy: admin on 127.0.0.1:41124
+//
+// Admin API:
+//
+//	POST /partition?on=1   sever everything (each request is cut
+//	                       before the upstream hears it)
+//	POST /partition?on=0   heal
+//	GET  /stats            chaosnet injection counters as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"bcnphase/internal/chaosnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "data listener address (proxied traffic)")
+	admin := flag.String("admin", "127.0.0.1:0", "admin listener address (partition toggle, stats)")
+	target := flag.String("target", "", "upstream base URL to proxy (required)")
+	seed := flag.Int64("seed", 0, "fault stream seed (0 = fixed default)")
+	latency := flag.Duration("latency", 0, "fixed delay added to every request")
+	jitter := flag.Duration("jitter", 0, "extra uniform delay in [0, jitter)")
+	flag.Parse()
+	if err := run(*listen, *admin, *target, *seed, *latency, *jitter); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, admin, target string, seed int64, latency, jitter time.Duration) error {
+	if target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	p, err := chaosnet.New(chaosnet.Config{
+		Target:  target,
+		Seed:    seed,
+		Latency: latency,
+		Jitter:  jitter,
+		Log:     os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	dataLn, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	adminLn, err := net.Listen("tcp", admin)
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/partition", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		on := r.URL.Query().Get("on") == "1"
+		p.SetPartitioned(on)
+		fmt.Fprintf(w, "partitioned=%v\n", on)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := struct {
+			chaosnet.Stats
+			Partitioned bool `json:"partition_active"`
+		}{p.Stats(), p.Partitioned()}
+		_ = json.NewEncoder(w).Encode(st)
+	})
+
+	fmt.Printf("chaosproxy: proxying %s on %s\n", target, dataLn.Addr())
+	fmt.Printf("chaosproxy: admin on %s\n", adminLn.Addr())
+
+	errc := make(chan error, 2)
+	go func() { errc <- http.Serve(dataLn, p.Handler()) }()
+	go func() { errc <- http.Serve(adminLn, mux) }()
+	return <-errc
+}
