@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seeds fuzz-short metamorphic check bench smoke-resume soak soak-cluster soak-chaos soak-overload soak-failover clean
+.PHONY: all build test vet race fuzz-seeds fuzz-short metamorphic check bench bench-compare smoke-resume soak soak-cluster soak-chaos soak-overload soak-failover clean
 
 all: check
 
@@ -43,6 +43,12 @@ check: vet build race fuzz-seeds metamorphic
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./scripts/benchjson -o BENCH.json
+
+# Compare the BENCH.json from `make bench` against the newest committed
+# trajectory point (BENCH_<n>.json). Prints per-metric deltas; exits
+# nonzero when a higher-is-better gauge (points/s) drops more than 10%.
+bench-compare: bench
+	$(GO) run ./scripts/benchjson -current BENCH.json -against "$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
 
 # Kill-and-resume smoke: SIGINT a real bcnsweep run partway, resume it
 # from the journal, and require byte-identical artifacts vs an

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"bcnphase/internal/analytic"
 	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/invariant"
@@ -73,6 +74,10 @@ type (
 
 const csvHeader = cluster.CSVHeader
 
+// localBatchSize is the span length the journal-free local sweep hands
+// one worker slot at a time (see cluster.GainGrid.EvalBatch).
+const localBatchSize = 64
+
 // evalHook, when non-nil, observes every fresh (non-replayed) point
 // evaluation; tests use it to count executions and to interrupt the
 // sweep cooperatively partway through.
@@ -92,6 +97,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout  = fs.Duration("point-timeout", time.Minute, "hard deadline per grid point (0 = none)")
 		resume   = fs.String("resume", "", "run directory holding the journal; completed points are skipped on restart and map.csv is written here")
 		invPol   = fs.String("invariants", "off", "runtime invariant checking per point: off, record, strict or clamp")
+		engine   = fs.String("analytic", "on", "row engine: on or auto (sampling-free closed-form solver; exact extrema), off (classic sampled solver). Non-off -invariants forces the classic path")
 		telem    = fs.String("telemetry", "", "directory to write telemetry.json (metrics summary) and trace.jsonl")
 		clusterC = fs.String("cluster", "", "submit the grid to a bcnd coordinator instead of evaluating locally; comma-separated URLs name an HA replica group and the client fails over between them")
 		tenant   = fs.String("tenant", "", "cluster mode: tenant key sent as Bcn-Tenant (empty = anonymous)")
@@ -103,38 +109,44 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *steps < 2 {
 		return fmt.Errorf("steps must be >= 2, got %d", *steps)
 	}
-	// With -telemetry, the sweep runs fully instrumented and dumps a
-	// JSON metrics summary plus a span trace on every exit path,
-	// including an interrupted (resumable) one.
+	// The registry always exists: the engine summary line reads the
+	// analytic arc counters even without -telemetry. With -telemetry the
+	// same registry is additionally dumped as a JSON metrics summary plus
+	// a span trace on every exit path, including an interrupted
+	// (resumable) one.
 	var (
-		reg    *telemetry.Registry
+		reg    = telemetry.NewRegistry()
 		tracer *telemetry.Tracer
-		began  time.Time
+		began  = time.Now()
 		done   int
 	)
+	pps := reg.Gauge("bcnsweep_points_per_second", "fresh grid points evaluated per wall-clock second")
 	if *telem != "" {
 		if err := runstate.EnsureWritableDir(*telem); err != nil {
 			return fmt.Errorf("telemetry preflight: %w", err)
 		}
-		reg = telemetry.NewRegistry()
 		tracer = telemetry.NewTracer(0, nil)
-		began = time.Now()
-		pps := reg.Gauge("bcnsweep_points_per_second", "fresh grid points evaluated per wall-clock second")
 		span := tracer.Start("bcnsweep/run")
 		defer func() {
-			wall := time.Since(began).Seconds()
-			if wall > 0 {
-				pps.Set(float64(done) / wall)
-			}
 			span.SetAttr("points_done", fmt.Sprint(done))
 			span.End()
-			if err := telemetry.DumpDir(*telem, "bcnsweep", wall, reg, tracer); err != nil {
+			if err := telemetry.DumpDir(*telem, "bcnsweep", time.Since(began).Seconds(), reg, tracer); err != nil {
 				fmt.Fprintln(os.Stderr, "bcnsweep: telemetry:", err)
 			}
 		}()
 	}
+	defer func() {
+		if wall := time.Since(began).Seconds(); wall > 0 {
+			pps.Set(float64(done) / wall)
+		}
+	}()
 	solveMetrics := core.NewSolveMetrics(reg)
+	analyticMetrics := analytic.NewMetrics(reg)
 	policy, err := invariant.ParsePolicy(*invPol)
+	if err != nil {
+		return err
+	}
+	mode, err := analytic.ParseMode(*engine)
 	if err != nil {
 		return err
 	}
@@ -144,6 +156,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		GdLo: *gdLo, GdHi: *gdHi,
 		Steps:      *steps,
 		Invariants: policy.String(),
+		Analytic:   mode.String(),
 	}
 	if base := grid.Base(); base.B <= base.Q0 {
 		return fmt.Errorf("buffer multiple %v leaves B <= q0", *bOverQ0)
@@ -166,11 +179,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	points := grid.Points()
+	em := cluster.EvalMetrics{Solve: solveMetrics, Analytic: analyticMetrics}
 	eval := func(ctx context.Context, pt gainPoint) (row, error) {
 		if evalHook != nil {
 			evalHook(pt)
 		}
-		return grid.Eval(ctx, pt, solveMetrics)
+		return grid.Eval(ctx, pt, em)
 	}
 
 	// With -resume, completed points are journaled before the sweep moves
@@ -206,9 +220,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	var results []sweep.Result[gainPoint, row]
 	if journal != nil {
+		// The checkpointed path stays per-point: each row must be
+		// journaled before the sweep moves on, so span batching would
+		// widen the crash window.
 		results, _ = sweep.RunCheckpointed(ctx, points, eval, opts, journal, keyFn)
 	} else {
-		results, _ = sweep.Run(ctx, points, eval, opts)
+		// Journal-free sweeps batch points per worker slot so one warm
+		// analytic Solver (and one supervision round) serves a whole span.
+		results, _ = sweep.RunBatched(ctx, points, localBatchSize,
+			func(ctx context.Context, pts []gainPoint, rows []row) error {
+				if evalHook != nil {
+					for _, pt := range pts {
+						evalHook(pt)
+					}
+				}
+				return grid.EvalBatch(ctx, pts, rows, em)
+			}, opts)
 	}
 
 	var csv strings.Builder
@@ -237,6 +264,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if tally := sweep.TallyViolations(results); tally.Total > 0 {
 		fmt.Fprintf(os.Stderr, "bcnsweep: invariants: %d of %d points dirty, %d violations total (by first predicate: %v)\n",
 			tally.Dirty, tally.Points, tally.Total, tally.ByPredicate)
+	}
+
+	// Rate and engine summary: how fast the grid went and which engine
+	// stitched its arcs (rk45 arcs come from ModeOff or the non-finite
+	// fallback, so nonzero rk45 counts under -analytic on deserve a
+	// look).
+	if wall := time.Since(began).Seconds(); wall > 0 {
+		fmt.Fprintf(os.Stderr, "bcnsweep: %d points in %.3gs (%.4g points/sec); arcs: analytic=%d rk45=%d (fallbacks=%d)\n",
+			done, wall, float64(done)/wall,
+			analyticMetrics.Arcs.With("analytic").Value(),
+			analyticMetrics.Arcs.With("rk45").Value(),
+			analyticMetrics.RK45Fallbacks.Value())
 	}
 
 	// An interrupted sweep exits resumable without publishing map.csv —

@@ -1,0 +1,161 @@
+package analytic
+
+import (
+	"math"
+
+	"bcnphase/internal/core"
+)
+
+// arc is a value-type mirror of core.NewArc's three closed-form
+// families. The arithmetic below is copied operation-for-operation from
+// internal/core/arcs.go — including the ArcDiscTol near-degenerate band
+// — so every junction quantity (switch times, y-zeros, evaluated
+// states) is bit-identical to what core.Solve computes, without the
+// interface boxing and per-arc allocation of the core representation.
+// Any change to the core forms must land here too; the cross-engine
+// equality tests in engine_test.go enforce the pairing.
+type arc struct {
+	kind core.ArcKind
+	// x, y, s are the state components and the switch coordinate
+	// x + k·y, interpreted per kind (see form).
+	x, y, s form
+	// scale is the regime's characteristic time (core.Arc.TimeScale).
+	scale float64
+}
+
+// form is one scalar component of an arc. Interpretation by kind:
+//
+//	spiral:   a·e^{b·t}·cos(c·t + d)        (cosForm{A, alpha, beta, phi})
+//	node:     a·e^{b·t} + c·e^{d·t}         (twoExp{c1, l1, c2, l2})
+//	critical: (a + b·t)·e^{c·t}             (linExp{p, q, l}; d unused)
+type form struct {
+	a, b, c, d float64
+}
+
+func (f form) at(kind core.ArcKind, t float64) float64 {
+	switch kind {
+	case core.ArcSpiral:
+		return f.a * math.Exp(f.b*t) * math.Cos(f.c*t+f.d)
+	case core.ArcNode:
+		return f.a*math.Exp(f.b*t) + f.c*math.Exp(f.d*t)
+	default:
+		return (f.a + f.b*t) * math.Exp(f.c*t)
+	}
+}
+
+// firstZeroAfter returns the first zero strictly after t0, mirroring
+// cosForm/twoExp/linExp.firstZeroAfter exactly.
+func (f form) firstZeroAfter(kind core.ArcKind, t0 float64) (float64, bool) {
+	switch kind {
+	case core.ArcSpiral:
+		if f.a == 0 || f.c <= 0 {
+			return 0, false
+		}
+		nf := (f.c*t0 + f.d - math.Pi/2) / math.Pi
+		n := math.Floor(nf) + 1
+		t := (math.Pi/2 + n*math.Pi - f.d) / f.c
+		for t <= t0 {
+			n++
+			t = (math.Pi/2 + n*math.Pi - f.d) / f.c
+		}
+		return t, true
+	case core.ArcNode:
+		if f.a == 0 || f.c == 0 {
+			return 0, false
+		}
+		r := -f.c / f.a
+		if r <= 0 {
+			return 0, false
+		}
+		t := math.Log(r) / (f.b - f.d)
+		if t <= t0 {
+			return 0, false
+		}
+		return t, true
+	default:
+		if f.b == 0 {
+			return 0, false
+		}
+		t := -f.a / f.b
+		if t <= t0 {
+			return 0, false
+		}
+		return t, true
+	}
+}
+
+func (a arc) at(t float64) (float64, float64) {
+	return a.x.at(a.kind, t), a.y.at(a.kind, t)
+}
+
+func (a arc) firstYZero(after float64) (float64, bool) {
+	return a.y.firstZeroAfter(a.kind, after)
+}
+
+func (a arc) firstSwitch(after float64) (float64, bool) {
+	return a.s.firstZeroAfter(a.kind, after)
+}
+
+// makeArc classifies and constructs the regime λ² + mλ + n = 0 from
+// (x0, y0) with switching slope k. ok is false for an unconstructible
+// regime (non-positive coefficients), the same inputs core.NewArc
+// rejects.
+func makeArc(m, n, k, x0, y0 float64) (arc, bool) {
+	if !(m > 0) || !(n > 0) || !(k > 0) {
+		return arc{}, false
+	}
+	disc := m*m - 4*n
+	if d := core.ArcDiscTol * m * m; disc < d && disc > -d {
+		return makeCritical(-m/2, k, x0, y0), true
+	}
+	if disc < 0 {
+		alpha := -m / 2
+		beta := math.Sqrt(-disc) / 2
+		return makeSpiral(alpha, beta, k, x0, y0), true
+	}
+	s := math.Sqrt(disc)
+	l1 := (-m - s) / 2
+	l2 := (-m + s) / 2
+	return makeNode(l1, l2, k, x0, y0), true
+}
+
+func makeSpiral(alpha, beta, k, x0, y0 float64) arc {
+	sinTerm := (alpha*x0 - y0) / beta
+	amp := math.Hypot(x0, sinTerm)
+	phi := math.Atan2(sinTerm, x0)
+	rhoY := math.Hypot(alpha, beta)
+	psiY := math.Atan2(beta, alpha)
+	rhoS := math.Hypot(1+k*alpha, k*beta)
+	psiS := math.Atan2(k*beta, 1+k*alpha)
+	return arc{
+		kind:  core.ArcSpiral,
+		x:     form{a: amp, b: alpha, c: beta, d: phi},
+		y:     form{a: amp * rhoY, b: alpha, c: beta, d: phi + psiY},
+		s:     form{a: amp * rhoS, b: alpha, c: beta, d: phi + psiS},
+		scale: math.Pi / beta,
+	}
+}
+
+func makeNode(l1, l2, k, x0, y0 float64) arc {
+	a1 := (l2*x0 - y0) / (l2 - l1)
+	a2 := (l1*x0 - y0) / (l1 - l2)
+	return arc{
+		kind:  core.ArcNode,
+		x:     form{a: a1, b: l1, c: a2, d: l2},
+		y:     form{a: a1 * l1, b: l1, c: a2 * l2, d: l2},
+		s:     form{a: a1 * (1 + k*l1), b: l1, c: a2 * (1 + k*l2), d: l2},
+		scale: 1 / math.Abs(l2),
+	}
+}
+
+func makeCritical(l, k, x0, y0 float64) arc {
+	a3 := x0
+	a4 := y0 - l*x0
+	return arc{
+		kind:  core.ArcCritical,
+		x:     form{a: a3, b: a4, c: l},
+		y:     form{a: a3*l + a4, b: a4 * l, c: l},
+		s:     form{a: a3*(1+k*l) + k*a4, b: a4 * (1 + k*l), c: l},
+		scale: 1 / math.Abs(l),
+	}
+}

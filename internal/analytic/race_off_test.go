@@ -1,0 +1,5 @@
+//go:build !race
+
+package analytic
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package analytic
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive assertions skip under it.
+const raceEnabled = true

@@ -1,0 +1,58 @@
+package analytic
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAnalyticSpeedup is ISSUE #10's performance gate: the closed-form
+// batch path must classify the sweep grid at least 5× faster than the
+// RK45-only baseline (the same classification computed by stitched
+// numerical integration). Interleaved best-of-N timing suppresses
+// scheduler noise, and the whole comparison retries before failing;
+// -short and race-instrumented runs skip.
+func TestAnalyticSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews wall-clock comparison")
+	}
+	params := gridParams(8, 8)
+	closed := NewBatch(len(params))
+	rk := NewBatch(len(params))
+	// Warm both paths (allocator, branch predictors) before timing.
+	closed.Solve(params, Options{})
+	rk.Solve(params, Options{Mode: ModeOff})
+
+	time1 := func(b *Batch, opts Options) time.Duration {
+		start := time.Now()
+		b.Solve(params, opts)
+		return time.Since(start)
+	}
+	measure := func() (closedBest, rkBest time.Duration) {
+		closedBest, rkBest = time.Hour, time.Hour
+		for i := 0; i < 5; i++ {
+			if d := time1(closed, Options{}); d < closedBest {
+				closedBest = d
+			}
+			if d := time1(rk, Options{Mode: ModeOff}); d < rkBest {
+				rkBest = d
+			}
+		}
+		return closedBest, rkBest
+	}
+
+	const want = 5.0
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		closedBest, rkBest := measure()
+		ratio = float64(rkBest) / float64(closedBest)
+		if ratio >= want {
+			t.Logf("analytic %v vs rk45 %v per %d-point batch: %.0f× speedup",
+				closedBest, rkBest, len(params), ratio)
+			return
+		}
+	}
+	t.Fatalf("analytic path only %.1f× faster than rk45 baseline, want ≥%.0f×", ratio, want)
+}

@@ -90,7 +90,7 @@ func TestClusterChaosSoak(t *testing.T) {
 	sm := core.NewSolveMetrics(nil)
 	refRes, err := sweep.Run(context.Background(), points,
 		func(ctx context.Context, pt cluster.GainPoint) (cluster.Row, error) {
-			return grid.Eval(ctx, pt, sm)
+			return grid.Eval(ctx, pt, cluster.EvalMetrics{Solve: sm})
 		}, sweep.Options{Workers: 8})
 	if err != nil {
 		t.Fatalf("reference sweep: %v", err)
@@ -275,7 +275,7 @@ func TestClusterByzantineSoak(t *testing.T) {
 	sm := core.NewSolveMetrics(nil)
 	refRes, err := sweep.Run(context.Background(), points,
 		func(ctx context.Context, pt cluster.GainPoint) (cluster.Row, error) {
-			return grid.Eval(ctx, pt, sm)
+			return grid.Eval(ctx, pt, cluster.EvalMetrics{Solve: sm})
 		}, sweep.Options{Workers: 8})
 	if err != nil {
 		t.Fatalf("reference sweep: %v", err)

@@ -96,7 +96,7 @@ func TestHAFailoverSoak(t *testing.T) {
 	sm := core.NewSolveMetrics(nil)
 	refRes, err := sweep.Run(context.Background(), points,
 		func(ctx context.Context, pt cluster.GainPoint) (cluster.Row, error) {
-			return grid.Eval(ctx, pt, sm)
+			return grid.Eval(ctx, pt, cluster.EvalMetrics{Solve: sm})
 		}, sweep.Options{Workers: 8})
 	if err != nil {
 		t.Fatalf("reference sweep: %v", err)

@@ -58,6 +58,14 @@ type Arc interface {
 	TimeScale() float64
 }
 
+// ArcDiscTol is the relative half-width of the near-degenerate band:
+// a discriminant with |m²−4n| ≤ ArcDiscTol·m² is treated as a repeated
+// eigenvalue and solved in the L-form. The node coefficients
+// (λ₂x₀−y₀)/(λ₂−λ₁) grow like 1/√disc, so inside this band the F-form
+// suffers catastrophic cancellation worse than the ≤√ArcDiscTol·m
+// eigenvalue shift the L-form substitution introduces.
+const ArcDiscTol = 1e-13
+
 // NewArc builds the closed-form solution of the linear regime λ²+mλ+n=0
 // from the initial state (x0, y0), with switching line x + k·y = 0.
 func NewArc(m, n, k, x0, y0 float64) (Arc, error) {
@@ -68,6 +76,9 @@ func NewArc(m, n, k, x0, y0 float64) (Arc, error) {
 		return nil, fmt.Errorf("%w: switching slope k=%v must be positive", ErrInvalidParams, k)
 	}
 	disc := m*m - 4*n
+	if d := ArcDiscTol * m * m; disc < d && disc > -d {
+		return newCriticalArc(-m/2, k, x0, y0), nil
+	}
 	switch {
 	case disc < 0:
 		alpha := -m / 2

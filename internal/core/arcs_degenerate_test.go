@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// degenerateRegime returns m, n with the discriminant m²−4n displaced
+// from zero by the relative amount eps: disc = eps·m².
+func degenerateRegime(eps float64) (m, n float64) {
+	m = 2.0e3 // λ = −1000 repeated at eps = 0
+	n = m * m * (1 - eps) / 4
+	return m, n
+}
+
+// TestNewArcNearDegenerateBand pins the ArcDiscTol classification rule:
+// discriminants inside the band solve in the L-form, discriminants
+// outside keep their natural family.
+func TestNewArcNearDegenerateBand(t *testing.T) {
+	const k = 1e-3
+	cases := []struct {
+		eps  float64
+		want ArcKind
+	}{
+		{0, ArcCritical},
+		{1e-16, ArcCritical},
+		{-1e-16, ArcCritical},
+		{0.9e-13, ArcCritical},
+		{-0.9e-13, ArcCritical},
+		{2e-13, ArcNode},
+		{-2e-13, ArcSpiral},
+		{1e-9, ArcNode},
+		{-1e-9, ArcSpiral},
+	}
+	for _, tc := range cases {
+		m, n := degenerateRegime(tc.eps)
+		arc, err := NewArc(m, n, k, -1.0, 0.5)
+		if err != nil {
+			t.Fatalf("eps=%g: %v", tc.eps, err)
+		}
+		if arc.Kind() != tc.want {
+			t.Errorf("eps=%g: kind %v, want %v", tc.eps, arc.Kind(), tc.want)
+		}
+	}
+}
+
+// TestNearDegenerateArcContinuity asserts the solution is continuous
+// across the band edges: eigenvalues within ~1e-9 of repeated must not
+// produce a state jump when the family flips between F/H and L forms.
+// Without the ArcDiscTol band the F-form coefficients ~1/√disc blow up
+// long before this point.
+func TestNearDegenerateArcContinuity(t *testing.T) {
+	const k = 1e-3
+	x0, y0 := -1.0, 0.5
+	ref, err := NewArc(degenerateRegimeM(), degenerateRegimeN(0), k, x0, y0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{1e-9, -1e-9, 1e-11, -1e-11, 1e-13, -1e-13, 1e-15, -1e-15} {
+		m, n := degenerateRegime(eps)
+		arc, err := NewArc(m, n, k, x0, y0)
+		if err != nil {
+			t.Fatalf("eps=%g: %v", eps, err)
+		}
+		// Sample over a few characteristic times: the eigenvalue shift
+		// √|eps|·m perturbs states by O(√|eps|·m·t); allow 10× that.
+		scale := ref.TimeScale()
+		tol := 10 * (math.Sqrt(math.Abs(eps))*2e3*3*scale + 1e-12)
+		for i := 1; i <= 12; i++ {
+			tt := scale * float64(i) / 4
+			xr, yr := ref.At(tt)
+			xa, ya := arc.At(tt)
+			if d := math.Abs(xa - xr); d > tol*(math.Abs(xr)+1) {
+				t.Errorf("eps=%g t=%g: x=%v, repeated-eigenvalue ref %v (Δ=%g)", eps, tt, xa, xr, d)
+			}
+			if d := math.Abs(ya - yr); d > tol*(math.Abs(yr)+1)*2e3 {
+				t.Errorf("eps=%g t=%g: y=%v, ref %v (Δ=%g)", eps, tt, ya, yr, d)
+			}
+		}
+		// Junction solvers stay finite and consistent across the flip.
+		if tz, ok := arc.FirstYZero(0); ok && (math.IsNaN(tz) || math.IsInf(tz, 0)) {
+			t.Errorf("eps=%g: non-finite FirstYZero %v", eps, tz)
+		}
+		if ts, ok := arc.FirstSwitch(0); ok && (math.IsNaN(ts) || math.IsInf(ts, 0)) {
+			t.Errorf("eps=%g: non-finite FirstSwitch %v", eps, ts)
+		}
+	}
+}
+
+func degenerateRegimeM() float64 { return 2.0e3 }
+func degenerateRegimeN(eps float64) float64 {
+	m := degenerateRegimeM()
+	return m * m * (1 - eps) / 4
+}
+
+// TestSolveNearDegenerateDiscriminant drives full trajectories whose
+// increase regime sits within 1e-9 … 1e-15 of the repeated eigenvalue
+// and asserts classification does not flip across the family boundary:
+// every perturbation yields the same outcome and (near-)identical peak
+// queue as the exactly-critical Case 5 system.
+func TestSolveNearDegenerateDiscriminant(t *testing.T) {
+	base := PaperExample()
+	// Tune Gi so the increase-region coefficient a sits exactly on the
+	// spiral/node threshold 4/k².
+	giCrit := base.AThreshold() / (base.Ru * float64(base.N))
+	ref, err := Solve(withGi(base, giCrit), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{1e-9, -1e-9, 1e-12, -1e-12, 1e-15, -1e-15} {
+		p := withGi(base, giCrit*(1+eps))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("eps=%g: %v", eps, err)
+		}
+		tr, err := Solve(p, SolveOptions{})
+		if err != nil {
+			t.Fatalf("eps=%g: %v", eps, err)
+		}
+		if tr.Outcome != ref.Outcome {
+			t.Errorf("eps=%g: outcome %v, critical ref %v — classification flipped", eps, tr.Outcome, ref.Outcome)
+		}
+		if d := math.Abs(tr.MaxX - ref.MaxX); d > 1e-3*(math.Abs(ref.MaxX)+p.Q0) {
+			t.Errorf("eps=%g: MaxX %v, ref %v (Δ=%g)", eps, tr.MaxX, ref.MaxX, d)
+		}
+	}
+}
+
+func withGi(p Params, gi float64) Params {
+	p.Gi = gi
+	return p
+}

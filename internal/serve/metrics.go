@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"bcnphase/internal/analytic"
 	"bcnphase/internal/core"
 	"bcnphase/internal/netsim"
 	"bcnphase/internal/sweep"
@@ -71,15 +72,17 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 // a netsim job run through bcnd lights up the same netsim_* series a
 // standalone bcnsim run would.
 type jobMetrics struct {
-	solve  *core.SolveMetrics
-	sweep  *sweep.Metrics
-	netsim *netsim.Metrics
+	solve    *core.SolveMetrics
+	sweep    *sweep.Metrics
+	netsim   *netsim.Metrics
+	analytic *analytic.Metrics
 }
 
 func newJobMetrics(reg *telemetry.Registry) jobMetrics {
 	return jobMetrics{
-		solve:  core.NewSolveMetrics(reg),
-		sweep:  sweep.NewMetrics(reg),
-		netsim: netsim.NewMetrics(reg),
+		solve:    core.NewSolveMetrics(reg),
+		sweep:    sweep.NewMetrics(reg),
+		netsim:   netsim.NewMetrics(reg),
+		analytic: analytic.NewMetrics(reg),
 	}
 }

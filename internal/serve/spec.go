@@ -38,6 +38,7 @@ import (
 	"math"
 	"time"
 
+	"bcnphase/internal/analytic"
 	"bcnphase/internal/cluster"
 	"bcnphase/internal/core"
 	"bcnphase/internal/faults"
@@ -96,6 +97,14 @@ type Spec struct {
 	// Unlike the timeout it shapes the result, so it is part of the
 	// dedup identity.
 	Invariants string `json:"invariants,omitempty"`
+	// Analytic selects the solve engine for solve and sweep jobs ("on",
+	// "auto", "off"); empty uses the server default. On/auto runs the
+	// sampling-free closed-form engine (internal/analytic) whenever the
+	// effective invariant policy is off; "off" keeps the classic sampled
+	// core.Solve. It shapes the artifact (exact versus sampled extrema),
+	// so it is part of the dedup identity. Shard jobs carry the mode
+	// inside the grid instead, like the invariant policy.
+	Analytic string `json:"analytic,omitempty"`
 
 	Solve  *SolveSpec         `json:"solve,omitempty"`
 	Sweep  *SweepSpec         `json:"sweep,omitempty"`
@@ -195,6 +204,9 @@ func (sp Spec) Validate() error {
 	if _, err := invariant.ParsePolicy(sp.Invariants); err != nil {
 		return fail("%v", err)
 	}
+	if _, err := analytic.ParseMode(sp.Analytic); err != nil {
+		return fail("%v", err)
+	}
 	if sp.TimeoutMs < 0 {
 		return fail("timeout_ms=%d must be non-negative", sp.TimeoutMs)
 	}
@@ -239,6 +251,11 @@ func (sp Spec) Validate() error {
 			// The grid's Invariants field is part of the shard's dedup
 			// identity; a second spec-level policy would be ambiguous.
 			return fail("shard jobs carry the invariant policy in the grid, not the spec")
+		}
+		if sp.Analytic != "" {
+			// Likewise the engine mode: it lives in the grid fingerprint so
+			// every worker in a cluster evaluates rows the same way.
+			return fail("shard jobs carry the analytic mode in the grid, not the spec")
 		}
 		if err := sp.Shard.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrSpec, err)
@@ -378,6 +395,7 @@ type specIdentity struct {
 	Format     int
 	Kind       string
 	Invariants string
+	Analytic   string
 	Solve      *SolveSpec
 	Sweep      *SweepSpec
 	Netsim     *NetsimSpec
@@ -390,7 +408,11 @@ type specIdentity struct {
 // Format 2: shard results carry the row_sums/digest integrity envelope
 // (cluster.SignShardResult), so pre-digest journal artifacts re-execute
 // instead of replaying unsigned.
-const artifactFormat = 2
+// Format 3: solve and sweep artifacts may come from the analytic engine
+// (exact extrema, engine tag), so the engine mode joins the identity
+// and pre-engine journal artifacts re-execute instead of replaying in
+// the sampled shape.
+const artifactFormat = 3
 
 // Key returns the spec's content-hash dedup key: the hex SHA-256 of the
 // canonical identity. Execution knobs (timeout_ms) are excluded, so the
@@ -401,10 +423,15 @@ func (sp Spec) Key() (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", ErrSpec, err)
 	}
+	mode, err := analytic.ParseMode(sp.Analytic)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSpec, err)
+	}
 	return runstate.HashJSON(specIdentity{
 		Format:     artifactFormat,
 		Kind:       sp.Kind,
-		Invariants: pol.String(), // normalize "" and "none" to "off"
+		Invariants: pol.String(),  // normalize "" and "none" to "off"
+		Analytic:   mode.String(), // normalize "" to "on"
 		Solve:      sp.Solve,
 		Sweep:      sp.Sweep,
 		Netsim:     sp.Netsim,

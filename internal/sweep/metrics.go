@@ -45,6 +45,22 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 	}
 }
 
+// observeSpan folds one finished batched span (n points evaluated in
+// one call) into the registry; the per-point histogram gets the span's
+// amortized cost.
+func (m *Metrics) observeSpan(n, attempts int, failed bool, wall time.Duration) {
+	m.Points.Add(uint64(n))
+	if attempts > 1 {
+		m.Retries.Add(uint64(attempts - 1))
+	}
+	if failed {
+		m.Failures.Add(uint64(n))
+	}
+	if n > 0 {
+		m.PointSeconds.Observe(wall.Seconds() / float64(n))
+	}
+}
+
 // observePoint folds one finished evaluation into the registry.
 func (m *Metrics) observePoint(attempts int, failed bool, wall time.Duration) {
 	m.Points.Inc()

@@ -6,6 +6,17 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | go run ./scripts/benchjson -o BENCH.json
+//
+// Compare mode puts two trajectory points side by side: -against names
+// a committed baseline (e.g. BENCH_10.json) and prints per-metric
+// deltas for every benchmark present in both files. Metrics listed in
+// -gauges are higher-is-better (throughput gauges like points/s); a
+// drop of more than 10% in any of them exits nonzero. All other
+// metrics (ns/op, B/op, allocs/op) are informational. The current side
+// comes from stdin as usual, or from an existing JSON file via
+// -current when the benchmarks already ran:
+//
+//	go run ./scripts/benchjson -current BENCH.json -against BENCH_10.json
 package main
 
 import (
@@ -15,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -41,14 +53,42 @@ type File struct {
 
 func main() {
 	out := flag.String("o", "BENCH.json", "output path for the parsed results")
+	current := flag.String("current", "", "load the current results from this BENCH.json instead of parsing stdin (compare-only mode; skips -o)")
+	against := flag.String("against", "", "baseline BENCH.json to compare against: print per-metric deltas, exit nonzero when a -gauges metric drops more than 10%")
+	gauges := flag.String("gauges", "points/s", "comma-separated higher-is-better metric units gated by -against")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+	var (
+		doc File
+		err error
+	)
+	if *current != "" {
+		doc, err = load(*current)
+	} else {
+		doc, err = run(os.Stdin, os.Stdout, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *against == "" {
+		return
+	}
+	prev, err := load(*against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	regs := compare(doc, prev, gaugeSet(*gauges), os.Stderr)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gauge regression(s) beyond %.0f%% vs %s:\n", len(regs), 100*regressionThreshold, *against)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, echo io.Writer, outPath string) error {
+func run(in io.Reader, echo io.Writer, outPath string) (File, error) {
 	var doc File
 	pkg := ""
 	sc := bufio.NewScanner(in)
@@ -72,13 +112,96 @@ func run(in io.Reader, echo io.Writer, outPath string) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return File{}, err
 	}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		return err
+		return File{}, err
 	}
-	return runstate.WriteFileAtomic(outPath, append(raw, '\n'), 0o644)
+	return doc, runstate.WriteFileAtomic(outPath, append(raw, '\n'), 0o644)
+}
+
+// load reads a previously written BENCH.json document.
+func load(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var doc File
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// regressionThreshold is the relative drop in a higher-is-better gauge
+// that turns an informational delta into a failing comparison.
+const regressionThreshold = 0.10
+
+// gaugeSet parses the -gauges flag: a comma-separated list of metric
+// units treated as higher-is-better.
+func gaugeSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			set[g] = true
+		}
+	}
+	return set
+}
+
+// compare prints one delta line per metric shared by both files and
+// returns descriptions of every gauge that regressed beyond the
+// threshold. Benchmarks or metrics present on only one side are noted
+// but never gate: a renamed benchmark is a review question, not a perf
+// regression.
+func compare(cur, prev File, gauges map[string]bool, w io.Writer) []string {
+	base := map[string]Result{}
+	for _, b := range prev.Benchmarks {
+		base[b.Pkg+"."+b.Name] = b
+	}
+	var regressions []string
+	for _, b := range cur.Benchmarks {
+		key := b.Pkg + "." + b.Name
+		pb, ok := base[key]
+		if !ok {
+			fmt.Fprintf(w, "%s: no baseline\n", key)
+			continue
+		}
+		for _, unit := range sortedKeys(b.Metrics) {
+			curV := b.Metrics[unit]
+			prevV, ok := pb.Metrics[unit]
+			if !ok {
+				fmt.Fprintf(w, "%s %s: %g (no baseline)\n", key, unit, curV)
+				continue
+			}
+			line := fmt.Sprintf("%s %s: %g -> %g", key, unit, prevV, curV)
+			if prevV != 0 {
+				pct := 100 * (curV - prevV) / prevV
+				line += fmt.Sprintf(" (%+.1f%%)", pct)
+				if gauges[unit] && (prevV-curV)/prevV > regressionThreshold {
+					line += "  REGRESSION"
+					regressions = append(regressions, line)
+				}
+			} else if gauges[unit] && curV == 0 {
+				// A gauge that was zero and stayed zero is a dead
+				// benchmark, not a regression.
+				line += " (baseline 0)"
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return regressions
+}
+
+// sortedKeys gives deterministic delta ordering within a benchmark.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // parseLine decodes one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,8 +25,12 @@ PASS
 func TestRunParsesStream(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
 	var echo strings.Builder
-	if err := run(strings.NewReader(sample), &echo, out); err != nil {
+	parsed, err := run(strings.NewReader(sample), &echo, out)
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if len(parsed.Benchmarks) != 3 {
+		t.Errorf("run returned %d benchmarks, want 3", len(parsed.Benchmarks))
 	}
 	if echo.String() != sample {
 		t.Error("input not echoed verbatim")
@@ -56,6 +61,98 @@ func TestRunParsesStream(t *testing.T) {
 	}
 	if got := doc.Benchmarks[2]; got.Pkg != "bcnphase/internal/telemetry" || got.Metrics["ns/op"] != 0.5 {
 		t.Errorf("third: %+v", got)
+	}
+}
+
+// bench builds a one-benchmark File for compare tests.
+func bench(name string, metrics map[string]float64) File {
+	return File{Benchmarks: []Result{{Pkg: "bcnphase", Name: name, Metrics: metrics}}}
+}
+
+func TestCompareGaugeRegression(t *testing.T) {
+	gauges := gaugeSet("points/s")
+	prev := bench("BenchmarkSweepAnalytic", map[string]float64{"points/s": 1000, "ns/op": 50})
+	for _, tc := range []struct {
+		name    string
+		cur     float64
+		regress bool
+	}{
+		{"improved", 2000, false},
+		{"flat", 1000, false},
+		{"down 10% exactly", 900, false}, // gate is strictly more than 10%
+		{"down 11%", 890, true},
+		{"collapsed", 1, true},
+	} {
+		cur := bench("BenchmarkSweepAnalytic", map[string]float64{"points/s": tc.cur, "ns/op": 50})
+		var buf strings.Builder
+		regs := compare(cur, prev, gauges, &buf)
+		if got := len(regs) > 0; got != tc.regress {
+			t.Errorf("%s: regressions %v, want regress=%v\noutput:\n%s", tc.name, regs, tc.regress, buf.String())
+		}
+		if !strings.Contains(buf.String(), "points/s") || !strings.Contains(buf.String(), "ns/op") {
+			t.Errorf("%s: missing per-metric delta lines:\n%s", tc.name, buf.String())
+		}
+	}
+}
+
+// Lower-is-better metrics (ns/op, B/op, allocs/op) inform but never
+// gate — only named gauges carry the exit code.
+func TestCompareNonGaugeNeverGates(t *testing.T) {
+	prev := bench("BenchmarkSolveBatch", map[string]float64{"ns/op": 100})
+	cur := bench("BenchmarkSolveBatch", map[string]float64{"ns/op": 100000})
+	var buf strings.Builder
+	if regs := compare(cur, prev, gaugeSet("points/s"), &buf); len(regs) != 0 {
+		t.Errorf("ns/op blow-up gated the comparison: %v", regs)
+	}
+	if !strings.Contains(buf.String(), "+99900.0%") {
+		t.Errorf("delta not printed:\n%s", buf.String())
+	}
+}
+
+// Benchmarks new on either side are noted, never gating; a zero
+// baseline cannot divide.
+func TestCompareMissingAndZeroBaselines(t *testing.T) {
+	prev := bench("BenchmarkOld", map[string]float64{"points/s": 0})
+	cur := File{Benchmarks: []Result{
+		{Pkg: "bcnphase", Name: "BenchmarkOld", Metrics: map[string]float64{"points/s": 0, "MB/s": 3}},
+		{Pkg: "bcnphase", Name: "BenchmarkNew", Metrics: map[string]float64{"points/s": 5}},
+	}}
+	var buf strings.Builder
+	if regs := compare(cur, prev, gaugeSet("points/s"), &buf); len(regs) != 0 {
+		t.Errorf("missing/zero baselines gated: %v", regs)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkNew: no baseline") || !strings.Contains(out, "MB/s: 3 (no baseline)") {
+		t.Errorf("missing-baseline notes absent:\n%s", out)
+	}
+}
+
+// The full loop: write a baseline with run(), reload it with load(),
+// and compare a faster second run against it.
+func TestCompareRoundTripThroughDisk(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_1.json")
+	if _, err := run(strings.NewReader(sample), io.Discard, basePath); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(sample, "11031781 ns/op", "5031781 ns/op")
+	cur, err := run(strings.NewReader(faster), io.Discard, filepath.Join(dir, "BENCH_2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if regs := compare(cur, prev, gaugeSet("points/s"), &buf); len(regs) != 0 {
+		t.Errorf("faster run flagged as regression: %v", regs)
+	}
+	if !strings.Contains(buf.String(), "(-54.4%)") {
+		t.Errorf("ns/op delta missing:\n%s", buf.String())
+	}
+	if _, err := load(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("load of a missing baseline succeeded")
 	}
 }
 
